@@ -1,0 +1,263 @@
+// Package repro's root benchmark harness: one testing.B benchmark per table
+// and figure of the paper's evaluation (each reports the headline metric of
+// that experiment via b.ReportMetric), plus wall-clock micro-benchmarks of
+// the CM API itself, mirroring the paper's end-system overhead measurements.
+//
+// Run with:  go test -bench=. -benchmem
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/apicost"
+	"repro/internal/app"
+	"repro/internal/cm"
+	"repro/internal/experiments"
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+)
+
+// ---------------------------------------------------------------------------
+// Per-figure benchmarks. Each iteration runs a scaled-down version of the
+// experiment; the custom metrics carry the figure's headline numbers.
+// ---------------------------------------------------------------------------
+
+func BenchmarkFig3ThroughputVsLoss(b *testing.B) {
+	cfg := experiments.Fig3Config{
+		LossPercents:  []float64{0, 1, 2, 5},
+		TransferBytes: 400_000,
+		Trials:        1,
+	}
+	var cmAt1, linuxAt1 float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig3(cfg)
+		for _, p := range res.Points {
+			if p.LossPct == 1 {
+				cmAt1, linuxAt1 = p.CMKBps, p.LinuxKBps
+			}
+		}
+	}
+	b.ReportMetric(cmAt1, "cm_KBps@1%loss")
+	b.ReportMetric(linuxAt1, "linux_KBps@1%loss")
+}
+
+func BenchmarkFig4LongTransfer(b *testing.B) {
+	cfg := experiments.Fig4Config{BufferCounts: []int{1000}, BufferSize: 8192}
+	var cmKBps, linuxKBps float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig4(cfg)
+		cmKBps = res.Points[0].CMKBps
+		linuxKBps = res.Points[0].LinuxKBps
+	}
+	b.ReportMetric(cmKBps, "cm_KBps")
+	b.ReportMetric(linuxKBps, "linux_KBps")
+}
+
+func BenchmarkFig5CPUOverhead(b *testing.B) {
+	cfg := experiments.Fig5Config{Fig4: experiments.Fig4Config{BufferCounts: []int{1000}, BufferSize: 8192}}
+	var diff float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig5(cfg)
+		diff = res.Points[0].DiffPercentU
+	}
+	b.ReportMetric(diff, "cm_cpu_overhead_pp")
+}
+
+func BenchmarkFig6APIOverhead(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig6(experiments.Fig6Config{})
+		worst = res.WorstCaseReduction
+	}
+	b.ReportMetric(100*worst, "worst_case_reduction_%")
+}
+
+func BenchmarkTable1Overheads(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		rows = len(experiments.RunTable1(apicost.DefaultCosts()).Rows)
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+func BenchmarkFig7SharedState(b *testing.B) {
+	cfg := experiments.Fig7Config{FileSize: 96 * 1024, Requests: 5, Spacing: 300 * time.Millisecond}
+	var improvement float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig7(cfg)
+		improvement = res.ImprovementPct
+	}
+	b.ReportMetric(improvement, "cm_improvement_%")
+}
+
+func benchAdaptation(b *testing.B, cfg experiments.AdaptationConfig) {
+	b.Helper()
+	cfg.Duration = 12 * time.Second
+	var switches float64
+	var goodput float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunAdaptation(cfg)
+		switches = float64(res.Stats.LayerSwitches)
+		goodput = res.ClientRate.Mean() / 1024
+	}
+	b.ReportMetric(switches, "layer_switches")
+	b.ReportMetric(goodput, "client_KBps")
+}
+
+func BenchmarkFig8ALFAdaptation(b *testing.B) {
+	benchAdaptation(b, experiments.Fig8Config())
+}
+
+func BenchmarkFig9RateCallback(b *testing.B) {
+	benchAdaptation(b, experiments.Fig9Config())
+}
+
+func BenchmarkFig10DelayedFeedback(b *testing.B) {
+	benchAdaptation(b, experiments.Fig10Config())
+}
+
+func BenchmarkFairnessEnsemble(b *testing.B) {
+	cfg := experiments.FairnessConfig{EnsembleFlows: 4, Duration: 15 * time.Second}
+	var cmShare, independentShare float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFairness(cfg)
+		cmShare = res.CMEnsembleShare
+		independentShare = res.IndependentEnsembleShare
+	}
+	b.ReportMetric(cmShare, "cm_ensemble_share")
+	b.ReportMetric(independentShare, "independent_share")
+}
+
+func BenchmarkConnSetup(b *testing.B) {
+	var cmMs float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunConnSetup()
+		cmMs = float64(res.CM) / float64(time.Millisecond)
+	}
+	b.ReportMetric(cmMs, "cm_setup_ms")
+}
+
+func BenchmarkAblationInitialWindow(b *testing.B) {
+	var penalty float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunAblationInitialWindow()
+		penalty = res.FirstRequestIW1ms - res.FirstRequestIW2ms
+	}
+	b.ReportMetric(penalty, "iw1_penalty_ms")
+}
+
+func BenchmarkAblationBulkCalls(b *testing.B) {
+	var saved float64
+	for i := 0; i < b.N; i++ {
+		saved = float64(experiments.RunAblationBulkCalls(32).CrossingsSaved)
+	}
+	b.ReportMetric(saved, "crossings_saved")
+}
+
+func BenchmarkAblationScheduler(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ratio = experiments.RunAblationScheduler().WeightedShare
+	}
+	b.ReportMetric(ratio, "weighted_ratio")
+}
+
+// ---------------------------------------------------------------------------
+// Wall-clock micro-benchmarks of the CM API (the reproduction's equivalent of
+// the paper's per-packet CPU cost measurements). These run the CM against the
+// real clock, not the simulator.
+// ---------------------------------------------------------------------------
+
+func newWallCM() (*cm.CM, cm.FlowID) {
+	clock := simtime.NewWallClock()
+	c := cm.New(clock, clock, cm.WithMTU(1500))
+	f := c.Open(netsim.ProtoTCP,
+		netsim.Addr{Host: "sender", Port: 4000},
+		netsim.Addr{Host: "receiver", Port: 80})
+	return c, f
+}
+
+func BenchmarkCMRequestGrantNotify(b *testing.B) {
+	c, f := newWallCM()
+	c.RegisterSend(f, func(id cm.FlowID) {
+		c.Notify(id, 1500)
+	})
+	// Keep the window open so every request is granted immediately.
+	c.Update(f, 0, 1<<20, cm.NoLoss, time.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Request(f)
+		c.Update(f, 1500, 1500, cm.NoLoss, time.Millisecond)
+	}
+}
+
+func BenchmarkCMUpdate(b *testing.B) {
+	c, f := newWallCM()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Update(f, 1500, 1500, cm.NoLoss, time.Millisecond)
+	}
+}
+
+func BenchmarkCMNotifyViaIPHook(b *testing.B) {
+	c, f := newWallCM()
+	key := c.FlowInfo(f).Key
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.NotifyTransmit(key, 1500)
+		if i%16 == 15 {
+			// Keep outstanding bounded so the benchmark measures steady state.
+			c.Update(f, 16*1500, 16*1500, cm.NoLoss, time.Millisecond)
+		}
+	}
+}
+
+func BenchmarkCMQuery(b *testing.B) {
+	c, f := newWallCM()
+	c.Update(f, 1500, 1500, cm.NoLoss, time.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Query(f); !ok {
+			b.Fatal("query failed")
+		}
+	}
+}
+
+func BenchmarkCMOpenClose(b *testing.B) {
+	clock := simtime.NewWallClock()
+	c := cm.New(clock, clock)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := c.Open(netsim.ProtoTCP,
+			netsim.Addr{Host: "sender", Port: 10000 + (i % 1000)},
+			netsim.Addr{Host: "receiver", Port: 80})
+		c.Close(f)
+	}
+}
+
+func BenchmarkAPICostModel(b *testing.B) {
+	costs := apicost.DefaultCosts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, v := range apicost.Variants() {
+			apicost.PerPacketCost(v, 1400, costs)
+		}
+	}
+}
+
+// BenchmarkSenderFeedbackConversion measures the user-space feedback
+// bookkeeping every UDP-based CM application performs per report.
+func BenchmarkSenderFeedbackConversion(b *testing.B) {
+	clock := simtime.NewWallClock()
+	fb := app.NewSenderFeedback(clock, func(int, int, cm.LossMode, time.Duration) {})
+	b.ResetTimer()
+	var seq int64
+	var total int64
+	for i := 0; i < b.N; i++ {
+		seq++
+		fb.OnSend(seq, 1000)
+		total += 1000
+		fb.OnReport(app.Report{TotalPackets: seq, TotalBytes: total, HighestSeq: seq, EchoSentAt: time.Millisecond})
+	}
+}

@@ -1,0 +1,132 @@
+// Command cmbench reproduces the paper's evaluation: every table and figure
+// of §4 plus the microbenchmarks and ablations listed in DESIGN.md. Each
+// experiment prints the rows/series the paper reports.
+//
+// Usage:
+//
+//	cmbench                      # run everything with the default (paper-sized) settings
+//	cmbench -experiment fig3     # run a single experiment
+//	cmbench -quick               # smaller sweeps, for a fast smoke run
+//	cmbench -csv                 # emit adaptation traces (fig8-10) as CSV instead of tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/apicost"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		which = flag.String("experiment", "all",
+			"experiment to run: all, fig3, fig4, fig5, fig6, table1, fig7, fig8, fig9, fig10, setup, fairness, ablations")
+		quick = flag.Bool("quick", false, "use reduced sweeps so the whole run finishes quickly")
+		csv   = flag.Bool("csv", false, "print adaptation traces (fig8-10) as CSV")
+	)
+	flag.Parse()
+
+	runner := &benchRunner{quick: *quick, csv: *csv}
+	selected := strings.Split(strings.ToLower(*which), ",")
+	ran := 0
+	for _, name := range selected {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !runner.run(name) {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			flag.Usage()
+			os.Exit(2)
+		}
+		ran++
+	}
+	if ran == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+type benchRunner struct {
+	quick bool
+	csv   bool
+}
+
+func (b *benchRunner) run(name string) bool {
+	switch name {
+	case "all":
+		for _, n := range []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "setup", "fairness", "ablations"} {
+			b.run(n)
+		}
+	case "fig3":
+		cfg := experiments.Fig3Config{}
+		if b.quick {
+			cfg = experiments.Fig3Config{LossPercents: []float64{0, 1, 2, 5}, TransferBytes: 500_000, Trials: 1}
+		}
+		b.section(experiments.RunFig3(cfg).Table())
+	case "fig4":
+		cfg := experiments.Fig4Config{}
+		if b.quick {
+			cfg = experiments.Fig4Config{BufferCounts: []int{1_000, 10_000}}
+		}
+		b.section(experiments.RunFig4(cfg).Table())
+	case "fig5":
+		cfg := experiments.Fig5Config{}
+		if b.quick {
+			cfg.Fig4 = experiments.Fig4Config{BufferCounts: []int{1_000, 10_000}}
+		}
+		b.section(experiments.RunFig5(cfg).Table())
+	case "fig6":
+		b.section(experiments.RunFig6(experiments.Fig6Config{}).Table())
+	case "table1":
+		b.section(experiments.RunTable1(apicost.DefaultCosts()).Table())
+	case "fig7":
+		cfg := experiments.Fig7Config{}
+		if b.quick {
+			cfg = experiments.Fig7Config{Requests: 5}
+		}
+		b.section(experiments.RunFig7(cfg).Table())
+	case "fig8":
+		b.adaptation(experiments.Fig8Config())
+	case "fig9":
+		b.adaptation(experiments.Fig9Config())
+	case "fig10":
+		b.adaptation(experiments.Fig10Config())
+	case "setup":
+		b.section(experiments.RunConnSetup().Table())
+	case "fairness":
+		cfg := experiments.FairnessConfig{}
+		if b.quick {
+			cfg.Duration = 15 * time.Second
+		}
+		b.section(experiments.RunFairness(cfg).Table())
+	case "ablations":
+		b.section(experiments.RunAblationInitialWindow().Table())
+		b.section(experiments.RunAblationBulkCalls(32).Table())
+		b.section(experiments.RunAblationScheduler().Table())
+	default:
+		return false
+	}
+	return true
+}
+
+func (b *benchRunner) adaptation(cfg experiments.AdaptationConfig) {
+	if b.quick {
+		cfg.Duration = 15 * time.Second
+	}
+	res := experiments.RunAdaptation(cfg)
+	if b.csv {
+		b.section(res.CSV())
+		return
+	}
+	b.section(res.Table())
+}
+
+func (b *benchRunner) section(body string) {
+	fmt.Println(body)
+	fmt.Println()
+}

@@ -1,0 +1,130 @@
+// Command cmsim runs a single configurable bulk-transfer simulation and
+// prints throughput and protocol statistics. It is the "one-off experiment"
+// tool: pick a bandwidth, delay, loss rate and congestion-control variant and
+// see how the transfer behaves.
+//
+// Example:
+//
+//	cmsim -bw 10e6 -rtt 60ms -loss 1 -cc cm -bytes 2000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cm"
+	"repro/internal/netsim"
+	"repro/internal/node"
+	"repro/internal/simtime"
+	"repro/internal/tcp"
+)
+
+func main() {
+	var (
+		bw       = flag.Float64("bw", 10e6, "bottleneck bandwidth in bits/second")
+		rtt      = flag.Duration("rtt", 60*time.Millisecond, "round-trip propagation delay")
+		lossPct  = flag.Float64("loss", 0, "random loss rate in percent")
+		queue    = flag.Int("queue", 120, "bottleneck queue length in packets")
+		ccName   = flag.String("cc", "cm", "congestion control: cm or native")
+		bytes    = flag.Int("bytes", 2_000_000, "transfer size in bytes")
+		flows    = flag.Int("flows", 1, "number of concurrent connections (all to the same receiver)")
+		seed     = flag.Int64("seed", 1, "random seed for the loss process")
+		deadline = flag.Duration("deadline", time.Hour, "virtual-time deadline")
+	)
+	flag.Parse()
+
+	var ccMode tcp.CongestionControl
+	switch *ccName {
+	case "cm":
+		ccMode = tcp.CCCM
+	case "native":
+		ccMode = tcp.CCNative
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -cc %q (want cm or native)\n", *ccName)
+		os.Exit(2)
+	}
+
+	sched := simtime.NewScheduler()
+	net := node.NewNetwork(sched)
+	net.ConnectDuplex("sender", "receiver", netsim.LinkConfig{
+		Bandwidth:    netsim.Bandwidth(*bw),
+		Delay:        *rtt / 2,
+		LossRate:     *lossPct / 100,
+		QueuePackets: *queue,
+		Seed:         *seed,
+	})
+	var cmgr *cm.CM
+	if ccMode == tcp.CCCM {
+		cmgr = cm.New(sched, sched)
+		net.Host("sender").SetTransmitNotifier(cmgr)
+	}
+
+	type conn struct {
+		ep        *tcp.Endpoint
+		delivered int64
+		started   time.Duration
+		finished  time.Duration
+	}
+	conns := make([]*conn, *flows)
+	for i := 0; i < *flows; i++ {
+		i := i
+		port := 5000 + i
+		c := &conn{}
+		conns[i] = c
+		_, err := tcp.Listen(net.Host("receiver"), port, tcp.Config{DelayedAck: true, RecvWindow: 1 << 20}, func(ep *tcp.Endpoint) {
+			ep.OnReceive(func(n int) { c.delivered += int64(n) })
+			ep.OnClosed(func() { c.finished = sched.Now() })
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg := tcp.Config{CongestionControl: ccMode, CM: cmgr, DelayedAck: true, RecvWindow: 1 << 20}
+		ep, err := tcp.Dial(net.Host("sender"), netsim.Addr{Host: "receiver", Port: port}, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		c.ep = ep
+		ep.OnEstablished(func() {
+			c.started = sched.Now()
+			ep.Send(*bytes)
+			ep.Close()
+		})
+	}
+
+	sched.RunUntil(*deadline)
+
+	fmt.Printf("configuration: %s, %.0f bps, RTT %v, loss %.2f%%, %d flow(s), %d bytes each\n",
+		ccMode, *bw, *rtt, *lossPct, *flows, *bytes)
+	var totalBytes int64
+	var lastFinish time.Duration
+	for i, c := range conns {
+		st := c.ep.Stats()
+		elapsed := c.finished - c.started
+		status := "ok"
+		if c.finished == 0 || c.delivered < int64(*bytes) {
+			status = "INCOMPLETE"
+			elapsed = sched.Now() - c.started
+		}
+		throughput := float64(c.delivered) / elapsed.Seconds() / 1024
+		fmt.Printf("flow %d: %s delivered=%d elapsed=%v throughput=%.0f KB/s rtx=%d timeouts=%d srtt=%v\n",
+			i, status, c.delivered, elapsed.Round(time.Millisecond), throughput,
+			st.Retransmissions, st.Timeouts, st.SRTT.Round(time.Millisecond))
+		totalBytes += c.delivered
+		if c.finished > lastFinish {
+			lastFinish = c.finished
+		}
+	}
+	if lastFinish > 0 {
+		fmt.Printf("aggregate: %d bytes in %v (%.0f KB/s)\n",
+			totalBytes, lastFinish.Round(time.Millisecond), float64(totalBytes)/lastFinish.Seconds()/1024)
+	}
+	if cmgr != nil {
+		acct := cmgr.Accounting()
+		fmt.Printf("cm: %d macroflow(s), %d grants, %d updates, %d notifies, %d queries\n",
+			cmgr.MacroflowCount(), acct.GrantsIssued, acct.Updates, acct.Notifies, acct.Queries)
+	}
+}

@@ -1,0 +1,53 @@
+// Command cmtrace runs one layered-streaming adaptation experiment (the
+// workloads behind Figures 8-10) and writes the rate traces as CSV, ready for
+// plotting.
+//
+// Example:
+//
+//	cmtrace -mode alf -duration 25s > fig8.csv
+//	cmtrace -mode rate -duration 20s > fig9.csv
+//	cmtrace -mode rate -duration 70s -delay-feedback > fig10.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "alf", "adaptation API: alf (request/callback) or rate (rate callback)")
+		duration = flag.Duration("duration", 25*time.Second, "trace length")
+		delayFB  = flag.Bool("delay-feedback", false, "delay receiver feedback by min(500 packets, 2s) as in Figure 10")
+		crossBps = flag.Float64("cross", 1_200_000, "cross-traffic rate in bytes/second during on periods (0 disables)")
+		table    = flag.Bool("table", false, "print a table instead of CSV")
+	)
+	flag.Parse()
+
+	cfg := experiments.AdaptationConfig{Duration: *duration, CrossRate: *crossBps}
+	switch *mode {
+	case "alf":
+		cfg.Mode = app.ModeALF
+	case "rate":
+		cfg.Mode = app.ModeRateCallback
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -mode %q (want alf or rate)\n", *mode)
+		os.Exit(2)
+	}
+	cfg.Feedback = app.FeedbackPolicy{EveryPackets: 1}
+	if *delayFB {
+		cfg.Feedback = app.FeedbackPolicy{EveryPackets: 500, MaxDelay: 2 * time.Second}
+	}
+
+	res := experiments.RunAdaptation(cfg)
+	if *table {
+		fmt.Println(res.Table())
+		return
+	}
+	fmt.Print(res.CSV())
+}

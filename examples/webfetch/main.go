@@ -1,0 +1,68 @@
+// Web fetch example: the shared-congestion-state scenario of Figure 7.
+//
+// An unmodified web client fetches the same 128 KB object nine times over
+// fresh TCP connections. With the Congestion Manager on the server, every
+// connection to the client shares one macroflow, so later requests skip slow
+// start and complete much faster; the unmodified server pays the slow-start
+// cost every time.
+//
+// Run with:  go run ./examples/webfetch
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/cm"
+	"repro/internal/netsim"
+	"repro/internal/node"
+	"repro/internal/simtime"
+	"repro/internal/tcp"
+)
+
+func run(useCM bool) []app.FetchResult {
+	sched := simtime.NewScheduler()
+	network := node.NewNetwork(sched)
+	network.ConnectDuplex("server", "client", netsim.LinkConfig{
+		Bandwidth:    20 * netsim.Mbps,
+		Delay:        35 * time.Millisecond, // ~70 ms RTT, like the MIT-Utah path
+		QueuePackets: 150,
+		Seed:         41,
+	})
+
+	serverCfg := tcp.Config{CongestionControl: tcp.CCNative, DelayedAck: true}
+	if useCM {
+		manager := cm.New(sched, sched)
+		network.Host("server").SetTransmitNotifier(manager)
+		serverCfg = tcp.Config{CongestionControl: tcp.CCCM, CM: manager, DelayedAck: true}
+	}
+	if _, err := app.NewFileServer(network.Host("server"), 80, 128*1024, serverCfg); err != nil {
+		panic(err)
+	}
+
+	client := app.NewFetchClient(network.Host("client"), netsim.Addr{Host: "server", Port: 80}, 200, tcp.Config{DelayedAck: true})
+	var results []app.FetchResult
+	client.RunSequential(9, 500*time.Millisecond, func(rs []app.FetchResult) { results = rs })
+	sched.RunFor(2 * time.Minute)
+	return results
+}
+
+func main() {
+	withCM := run(true)
+	without := run(false)
+
+	fmt.Println("Sequential 128 KB fetches, 500 ms apart (times in ms):")
+	fmt.Printf("%-10s %12s %12s\n", "request", "TCP/CM", "TCP/Linux")
+	for i := 0; i < len(withCM) && i < len(without); i++ {
+		fmt.Printf("%-10d %12.0f %12.0f\n", i+1,
+			float64(withCM[i].Elapsed)/float64(time.Millisecond),
+			float64(without[i].Elapsed)/float64(time.Millisecond))
+	}
+	if len(withCM) > 1 {
+		first := withCM[0].Elapsed
+		last := withCM[len(withCM)-1].Elapsed
+		fmt.Printf("\nCM improvement from first to last request: %.0f%%\n",
+			100*float64(first-last)/float64(first))
+	}
+}

@@ -1,0 +1,191 @@
+package apicost
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestVariantNames(t *testing.T) {
+	want := map[Variant]string{
+		TCPLinux:     "TCP/Linux",
+		TCPCM:        "TCP/CM",
+		TCPCMNoDelay: "TCP/CM nodelay",
+		Buffered:     "Buffered",
+		ALF:          "ALF",
+		ALFNoConnect: "ALF/noconnect",
+	}
+	for v, name := range want {
+		if v.String() != name {
+			t.Errorf("%d.String() = %q, want %q", v, v.String(), name)
+		}
+	}
+	if Variant(99).String() == "" {
+		t.Error("unknown variant should still format")
+	}
+	if len(Variants()) != 6 {
+		t.Error("Variants() should list all six APIs")
+	}
+}
+
+func TestCostOrderingMatchesPaper(t *testing.T) {
+	m := DefaultCosts()
+	for _, size := range []int{64, 168, 512, 1024, 1400} {
+		costs := map[Variant]time.Duration{}
+		for _, v := range Variants() {
+			costs[v] = PerPacketCost(v, size, m)
+		}
+		// Figure 6 ordering: ALF/noconnect > ALF > Buffered > TCP/CM nodelay
+		// >= TCP/CM >= TCP/Linux.
+		if !(costs[ALFNoConnect] > costs[ALF] &&
+			costs[ALF] > costs[Buffered] &&
+			costs[Buffered] > costs[TCPCMNoDelay] &&
+			costs[TCPCMNoDelay] > costs[TCPCM] &&
+			costs[TCPCM] >= costs[TCPLinux]) {
+			t.Fatalf("cost ordering violated at %dB: %v", size, costs)
+		}
+	}
+}
+
+func TestTCPCMCloseToTCPLinux(t *testing.T) {
+	// The paper reports 0-3 % CPU overhead for TCP/CM vs TCP/Linux.
+	m := DefaultCosts()
+	for _, size := range []int{168, 536, 1460} {
+		linux := PerPacketCost(TCPLinux, size, m)
+		cm := PerPacketCost(TCPCM, size, m)
+		overhead := float64(cm-linux) / float64(linux)
+		if overhead < 0 || overhead > 0.03 {
+			t.Fatalf("TCP/CM overhead at %dB = %.3f, want within [0, 0.03]", size, overhead)
+		}
+	}
+}
+
+func TestWorstCaseThroughputReductionAbout25Percent(t *testing.T) {
+	// Paper §4.2: for 168-byte packets, ALF/noconnect reduces throughput by
+	// ~25 % relative to TCP/CM without delayed ACKs. Allow a generous band
+	// since the absolute constants are calibration, not measurement.
+	m := DefaultCosts()
+	base := Throughput(TCPCMNoDelay, 168, m)
+	worst := Throughput(ALFNoConnect, 168, m)
+	reduction := 1 - worst/base
+	if reduction < 0.15 || reduction > 0.35 {
+		t.Fatalf("worst-case throughput reduction = %.2f, want ~0.25", reduction)
+	}
+}
+
+func TestCPUUtilization(t *testing.T) {
+	m := DefaultCosts()
+	// At 100 Mbps with MTU-sized packets neither stack should saturate a CPU,
+	// and the CM difference should be small (Figure 5: < ~1 %).
+	rate := 100e6 / 8.0
+	uLinux := CPUUtilization(TCPLinux, 1460, rate, m)
+	uCM := CPUUtilization(TCPCM, 1460, rate, m)
+	if uLinux <= 0 || uLinux >= 1 {
+		t.Fatalf("TCP/Linux utilisation = %v, want (0,1)", uLinux)
+	}
+	if diff := uCM - uLinux; diff < 0 || diff > 0.01 {
+		t.Fatalf("CM utilisation difference = %v, want within [0, 0.01]", diff)
+	}
+	// Tiny packets at high rates saturate and clamp at 1.
+	if u := CPUUtilization(ALFNoConnect, 64, 1e9, m); u != 1 {
+		t.Fatalf("saturated utilisation = %v, want 1", u)
+	}
+	if CPUUtilization(TCPLinux, 0, rate, m) != 0 || CPUUtilization(TCPLinux, 100, 0, m) != 0 {
+		t.Fatal("degenerate inputs should give zero utilisation")
+	}
+}
+
+func TestOperationsMatchTable1Deltas(t *testing.T) {
+	// The deltas between adjacent variants must be exactly the operations the
+	// paper's Table 1 lists.
+	bufOps := OperationsFor(Buffered)
+	tcpOps := OperationsFor(TCPCMNoDelay)
+	if bufOps.RecvSyscalls-tcpOps.RecvSyscalls != 1 || bufOps.Gettimeofdays-tcpOps.Gettimeofdays != 2 {
+		t.Fatal("Buffered should add 1 recv and 2 gettimeofday over TCP/CM")
+	}
+	alfOps := OperationsFor(ALF)
+	if alfOps.Ioctls-bufOps.Ioctls != 1 || alfOps.ExtraSelectDescriptors-bufOps.ExtraSelectDescriptors != 1 {
+		t.Fatal("ALF should add 1 ioctl and 1 extra socket over Buffered")
+	}
+	ncOps := OperationsFor(ALFNoConnect)
+	if ncOps.Ioctls-alfOps.Ioctls != 1 {
+		t.Fatal("ALF/noconnect should add 1 ioctl over ALF")
+	}
+	if OperationsFor(TCPLinux).UsesCM || !OperationsFor(TCPCM).UsesCM {
+		t.Fatal("CM accounting flags wrong")
+	}
+	if OperationsFor(Variant(99)) != (Operations{}) {
+		t.Fatal("unknown variant should have zero operations")
+	}
+}
+
+func TestTable1Structure(t *testing.T) {
+	rows := Table1(DefaultCosts())
+	if len(rows) != 4 {
+		t.Fatalf("Table1 rows = %d, want 4", len(rows))
+	}
+	if rows[0].Variant != ALFNoConnect || rows[3].Variant != TCPCM {
+		t.Fatal("Table1 should go from most expensive to the TCP/CM baseline")
+	}
+	if rows[3].AddedOps != "-baseline-" || rows[3].DeltaAtMTU != 0 {
+		t.Fatalf("baseline row wrong: %+v", rows[3])
+	}
+	for _, r := range rows[:3] {
+		if r.DeltaAtMTU <= 0 {
+			t.Fatalf("row %v should add positive cost, got %v", r.Variant, r.DeltaAtMTU)
+		}
+		if r.AddedOps == "" {
+			t.Fatal("added-operations description missing")
+		}
+	}
+}
+
+func TestPerPacketCostNegativeSizeClamped(t *testing.T) {
+	m := DefaultCosts()
+	if PerPacketCost(TCPLinux, -5, m) != PerPacketCost(TCPLinux, 0, m) {
+		t.Fatal("negative payload should be treated as zero")
+	}
+	if Throughput(TCPLinux, 0, m) != 0 {
+		t.Fatal("zero payload has zero throughput")
+	}
+}
+
+// Property: per-packet cost is monotonically non-decreasing in payload size
+// for every variant (copies only add cost).
+func TestPropertyCostMonotoneInSize(t *testing.T) {
+	m := DefaultCosts()
+	f := func(a, b uint16) bool {
+		small, large := int(a%1500), int(b%1500)
+		if small > large {
+			small, large = large, small
+		}
+		for _, v := range Variants() {
+			if PerPacketCost(v, small, m) > PerPacketCost(v, large, m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: across all packet sizes, the cost ordering of the variants never
+// inverts.
+func TestPropertyOrderingStable(t *testing.T) {
+	m := DefaultCosts()
+	f := func(sz uint16) bool {
+		size := int(sz % 1500)
+		order := Variants()
+		for i := 1; i < len(order); i++ {
+			if PerPacketCost(order[i], size, m) < PerPacketCost(order[i-1], size, m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,219 @@
+package cm
+
+import (
+	"time"
+)
+
+// RegisterSend registers the cmapp_send callback for a flow and optionally a
+// dispatcher (nil keeps the current one). The paper added
+// cm_register_send() during implementation to give clients flexibility over
+// which function receives the grant.
+func (cm *CM) RegisterSend(f FlowID, cb SendCallback) {
+	if fl, ok := cm.flows[f]; ok {
+		fl.sendCB = cb
+	}
+}
+
+// RegisterUpdate registers the cmapp_update callback used by the rate-callback
+// API (cm_register_update in the paper).
+func (cm *CM) RegisterUpdate(f FlowID, cb UpdateCallback) {
+	if fl, ok := cm.flows[f]; ok {
+		fl.updateCB = cb
+	}
+}
+
+// SetDispatcher installs the callback dispatcher for a flow. In-kernel
+// clients keep the default direct dispatcher; libcm installs its own to model
+// the kernel-to-user notification path.
+func (cm *CM) SetDispatcher(f FlowID, d Dispatcher) {
+	if fl, ok := cm.flows[f]; ok && d != nil {
+		fl.dispatcher = d
+	}
+}
+
+// SetWeight sets a flow's scheduling weight (used by the weighted scheduler
+// and for apportioning the advertised per-flow rate). Weights must be
+// positive; invalid weights are ignored.
+func (cm *CM) SetWeight(f FlowID, w float64) {
+	if fl, ok := cm.flows[f]; ok && w > 0 {
+		fl.weight = w
+	}
+}
+
+// Request asks for permission to send up to one MTU on the flow
+// (cm_request). Permission arrives later through the cmapp_send callback;
+// each call is an implicit request for one MTU-sized grant.
+func (cm *CM) Request(f FlowID) {
+	fl, ok := cm.flows[f]
+	if !ok {
+		return
+	}
+	cm.acct.Requests++
+	fl.pendingRequests++
+	fl.mf.pump()
+}
+
+// BulkRequest queues requests for several flows with a single call,
+// corresponding to cm_bulk_request (§5, Optimizations): servers with many
+// concurrent clients batch control operations to reduce boundary crossings.
+func (cm *CM) BulkRequest(flows []FlowID) {
+	cm.acct.BulkRequests++
+	touched := make(map[*Macroflow]bool)
+	for _, f := range flows {
+		fl, ok := cm.flows[f]
+		if !ok {
+			continue
+		}
+		fl.pendingRequests++
+		touched[fl.mf] = true
+	}
+	for mf := range touched {
+		mf.pump()
+	}
+}
+
+// Notify charges nsent bytes of an actual transmission to the flow's
+// macroflow (cm_notify). The IP output hook calls it for every packet; a
+// client that declines a grant calls it with zero so other flows on the
+// macroflow can transmit.
+func (cm *CM) Notify(f FlowID, nsent int) {
+	fl, ok := cm.flows[f]
+	if !ok {
+		return
+	}
+	cm.acct.Notifies++
+	if nsent < 0 {
+		nsent = 0
+	}
+	fl.mf.notify(fl, nsent)
+}
+
+// UpdateArgs bundles the arguments of one Update for the bulk variant.
+type UpdateArgs struct {
+	Flow     FlowID
+	Sent     int
+	Received int
+	Mode     LossMode
+	RTT      time.Duration
+}
+
+// Update reports feedback from the receiver for a flow: how many bytes the
+// feedback covers, how many arrived, the kind of congestion observed, and a
+// round-trip time sample (cm_update).
+func (cm *CM) Update(f FlowID, nsent, nrecd int, mode LossMode, rtt time.Duration) {
+	fl, ok := cm.flows[f]
+	if !ok {
+		return
+	}
+	cm.acct.Updates++
+	if nsent < 0 {
+		nsent = 0
+	}
+	if nrecd < 0 {
+		nrecd = 0
+	}
+	fl.mf.update(fl, nsent, nrecd, mode, rtt)
+}
+
+// BulkUpdate applies several Update calls at once (cm_bulk_update).
+func (cm *CM) BulkUpdate(updates []UpdateArgs) {
+	cm.acct.BulkUpdates++
+	for _, u := range updates {
+		fl, ok := cm.flows[u.Flow]
+		if !ok {
+			continue
+		}
+		nsent, nrecd := u.Sent, u.Received
+		if nsent < 0 {
+			nsent = 0
+		}
+		if nrecd < 0 {
+			nrecd = 0
+		}
+		fl.mf.update(fl, nsent, nrecd, u.Mode, u.RTT)
+	}
+}
+
+// Thresh sets the rate-change factors that trigger cmapp_update callbacks
+// for the flow: a callback is delivered when the rate drops by a factor of
+// down or rises by a factor of up since the last report (cm_thresh).
+// Factors at or below 1 are rejected and leave the previous setting.
+func (cm *CM) Thresh(f FlowID, down, up float64) {
+	fl, ok := cm.flows[f]
+	if !ok {
+		return
+	}
+	if down > 1 {
+		fl.threshDown = down
+	}
+	if up > 1 {
+		fl.threshUp = up
+	}
+}
+
+// Query returns the CM's current estimate of the flow's available rate,
+// round-trip time and loss rate (cm_query). Applications use it at stream
+// start to pick an encoding and inside cmapp_send callbacks to adapt content.
+func (cm *CM) Query(f FlowID) (Status, bool) {
+	fl, ok := cm.flows[f]
+	if !ok {
+		return Status{}, false
+	}
+	cm.acct.Queries++
+	return fl.mf.status(fl), true
+}
+
+// SplitFlow moves a flow out of its per-destination macroflow into a fresh,
+// private macroflow. The paper provides macroflow construction/splitting for
+// cases where the default per-destination aggregation is unsuitable (for
+// example differentiated-services paths).
+func (cm *CM) SplitFlow(f FlowID) {
+	fl, ok := cm.flows[f]
+	if !ok {
+		return
+	}
+	if fl.mf.FlowCount() == 1 {
+		return // already alone
+	}
+	fl.mf.removeFlow(fl)
+	cm.nextMFTag++
+	mf := cm.macroflowFor(macroflowKey{dstHost: fl.key.Dst.Host, tag: cm.nextMFTag})
+	fl.mf = mf
+	mf.addFlow(fl)
+}
+
+// MergeFlows moves flow b into flow a's macroflow so they share congestion
+// state, overriding the default aggregation.
+func (cm *CM) MergeFlows(a, b FlowID) {
+	fa, okA := cm.flows[a]
+	fb, okB := cm.flows[b]
+	if !okA || !okB || fa.mf == fb.mf {
+		return
+	}
+	fb.mf.removeFlow(fb)
+	fb.mf = fa.mf
+	fa.mf.addFlow(fb)
+}
+
+// Accounting counts API invocations and callback deliveries. The API-cost
+// model uses these counters to reproduce the paper's overhead accounting
+// (Table 1, Figures 5 and 6).
+type Accounting struct {
+	Opens           int64
+	Closes          int64
+	Requests        int64
+	BulkRequests    int64
+	Updates         int64
+	BulkUpdates     int64
+	Notifies        int64
+	Queries         int64
+	GrantsIssued    int64
+	UpdateCallbacks int64
+}
+
+// Total returns the total number of client-initiated API calls (excluding
+// callbacks the CM itself delivers).
+func (a Accounting) Total() int64 {
+	return a.Opens + a.Closes + a.Requests + a.BulkRequests + a.Updates +
+		a.BulkUpdates + a.Notifies + a.Queries
+}

@@ -1,0 +1,386 @@
+// Package cm implements the Congestion Manager (CM), the primary contribution
+// of "System Support for Bandwidth Management and Content Adaptation in
+// Internet Applications" (Andersen et al., OSDI 2000).
+//
+// The CM integrates congestion management across all of a sender's flows.
+// Flows to the same destination host are aggregated into a macroflow that
+// shares one congestion controller (a TCP-friendly window-based AIMD scheme
+// with slow start and byte counting) and one set of path state (smoothed RTT,
+// loss estimate). A scheduler apportions the macroflow's window among its
+// constituent flows (round-robin by default, optionally weighted).
+//
+// Clients use the API described in §2.1 of the paper:
+//
+//   - Open / Close / MTU                      — state management
+//   - Request + cmapp_send callback           — ALF-style request/callback sends
+//   - RegisterUpdate + Thresh + cmapp_update  — rate callbacks for self-clocked apps
+//   - Update                                  — feedback (bytes sent/received, loss mode, RTT)
+//   - Notify                                  — per-transmission charging from the IP output hook
+//   - Query                                   — current rate / RTT / loss estimate
+//   - BulkRequest / BulkUpdate / BulkNotify   — batched variants (§5, Optimizations)
+//   - SplitFlow / MergeFlows                  — macroflow construction overrides
+//
+// In-kernel clients (the TCP implementation in internal/tcp) call these
+// methods directly; user-space clients go through internal/libcm, which
+// models the control-socket + select + ioctl boundary of the paper.
+package cm
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+)
+
+// FlowID is the handle returned by Open and used in all subsequent calls,
+// corresponding to cm_flowid in the paper.
+type FlowID int
+
+// InvalidFlow is returned by lookups that fail.
+const InvalidFlow FlowID = -1
+
+// LossMode describes the kind of congestion feedback carried by an Update
+// call (paper §2.1.3).
+type LossMode int
+
+const (
+	// NoLoss reports a successful transmission with no congestion signal.
+	NoLoss LossMode = iota
+	// TransientLoss reports isolated loss within a window, e.g. a TCP fast
+	// retransmit triggered by three duplicate ACKs.
+	TransientLoss
+	// PersistentLoss reports serious loss such as a TCP retransmission
+	// timeout (CM_LOST_FEEDBACK in the paper); the window collapses to the
+	// initial value and slow start resumes.
+	PersistentLoss
+	// ECNLoss reports an Explicit Congestion Notification mark: the window
+	// is reduced as for transient loss but nothing was dropped.
+	ECNLoss
+)
+
+// String names the loss mode.
+func (m LossMode) String() string {
+	switch m {
+	case NoLoss:
+		return "none"
+	case TransientLoss:
+		return "transient"
+	case PersistentLoss:
+		return "persistent"
+	case ECNLoss:
+		return "ecn"
+	default:
+		return fmt.Sprintf("lossmode(%d)", int(m))
+	}
+}
+
+// Status is the network-state snapshot returned by Query and delivered with
+// rate callbacks (cmapp_update).
+type Status struct {
+	// Rate is the bandwidth available to this flow in bytes/second (the
+	// macroflow rate divided according to scheduler weights).
+	Rate float64
+	// MacroflowRate is the aggregate rate of the macroflow in bytes/second.
+	MacroflowRate float64
+	// SRTT and RTTVar are the smoothed round-trip time estimate and its
+	// mean deviation, aggregated across all flows of the macroflow.
+	SRTT   time.Duration
+	RTTVar time.Duration
+	// LossRate is an exponentially weighted estimate of the fraction of
+	// bytes lost.
+	LossRate float64
+	// CWND is the macroflow congestion window in bytes.
+	CWND int
+	// Outstanding is the number of bytes charged to the macroflow that have
+	// not yet been accounted for by feedback.
+	Outstanding int
+	// MTU is the maximum transmission unit for the flow's path.
+	MTU int
+}
+
+// SendCallback is the cmapp_send upcall: permission for the flow to transmit
+// up to MTU bytes.
+type SendCallback func(f FlowID)
+
+// UpdateCallback is the cmapp_update upcall: notification that network
+// conditions changed beyond the thresholds set with Thresh.
+type UpdateCallback func(f FlowID, st Status)
+
+// Dispatcher delivers callbacks to a client. In-kernel clients use the
+// direct dispatcher (plain function calls, as TCP does in the paper);
+// user-space clients register a libcm dispatcher that models the
+// kernel-to-user notification path.
+type Dispatcher interface {
+	DeliverSend(f FlowID, cb SendCallback)
+	DeliverUpdate(f FlowID, st Status, cb UpdateCallback)
+}
+
+// directDispatcher calls back synchronously in the same "protection domain".
+type directDispatcher struct{}
+
+func (directDispatcher) DeliverSend(f FlowID, cb SendCallback) { cb(f) }
+func (directDispatcher) DeliverUpdate(f FlowID, st Status, cb UpdateCallback) {
+	cb(f, st)
+}
+
+// DirectDispatcher returns the dispatcher used for in-kernel clients.
+func DirectDispatcher() Dispatcher { return directDispatcher{} }
+
+// Config collects the tunables of a CM instance. The zero value is usable;
+// New fills in defaults matching the paper's implementation.
+type Config struct {
+	// MTU is the default maximum transmission unit used for grants and as
+	// the unit of window arithmetic. Default 1500 bytes (Ethernet).
+	MTU int
+	// InitialWindowMTUs is the initial and post-persistent-loss congestion
+	// window in MTUs. The CM uses 1 (the paper notes Linux used 2, which is
+	// one of the two deliberate differences in Figure 4).
+	InitialWindowMTUs int
+	// MaxWindowBytes caps the congestion window; 0 means no cap beyond the
+	// controller's own limits.
+	MaxWindowBytes int
+	// GrantTimeout is how long an unclaimed send grant is held before the
+	// background task reclaims it so other flows are not starved.
+	GrantTimeout time.Duration
+	// FeedbackStarvationTimeout is how long a macroflow with outstanding
+	// bytes may go without any Update before the background task treats the
+	// silence as persistent congestion. It guards against clients that die
+	// or lose their feedback channel.
+	FeedbackStarvationTimeout time.Duration
+	// DefaultThreshDown / DefaultThreshUp are the rate-change factors that
+	// trigger cmapp_update callbacks when the client has not called Thresh.
+	DefaultThreshDown float64
+	DefaultThreshUp   float64
+	// NewController builds the congestion controller for each macroflow.
+	// Defaults to NewAIMDController.
+	NewController func(cfg ControllerConfig) Controller
+	// NewScheduler builds the flow scheduler for each macroflow. Defaults
+	// to NewRoundRobinScheduler.
+	NewScheduler func() Scheduler
+}
+
+func (c *Config) fillDefaults() {
+	if c.MTU <= 0 {
+		c.MTU = netsim.DefaultMTU
+	}
+	if c.InitialWindowMTUs <= 0 {
+		c.InitialWindowMTUs = 1
+	}
+	if c.GrantTimeout <= 0 {
+		c.GrantTimeout = 500 * time.Millisecond
+	}
+	if c.FeedbackStarvationTimeout <= 0 {
+		c.FeedbackStarvationTimeout = 3 * time.Second
+	}
+	if c.DefaultThreshDown <= 1 {
+		c.DefaultThreshDown = 1.25
+	}
+	if c.DefaultThreshUp <= 1 {
+		c.DefaultThreshUp = 1.25
+	}
+	if c.NewController == nil {
+		c.NewController = func(cfg ControllerConfig) Controller { return NewAIMDController(cfg) }
+	}
+	if c.NewScheduler == nil {
+		c.NewScheduler = func() Scheduler { return NewRoundRobinScheduler() }
+	}
+}
+
+// Option mutates the configuration at construction time.
+type Option func(*Config)
+
+// WithMTU sets the default MTU.
+func WithMTU(mtu int) Option { return func(c *Config) { c.MTU = mtu } }
+
+// WithInitialWindow sets the initial window in MTUs.
+func WithInitialWindow(mtus int) Option {
+	return func(c *Config) { c.InitialWindowMTUs = mtus }
+}
+
+// WithController sets the congestion-controller factory, enabling the
+// experimentation with non-AIMD schemes that the paper's modularity argument
+// calls for.
+func WithController(f func(cfg ControllerConfig) Controller) Option {
+	return func(c *Config) { c.NewController = f }
+}
+
+// WithScheduler sets the flow-scheduler factory.
+func WithScheduler(f func() Scheduler) Option {
+	return func(c *Config) { c.NewScheduler = f }
+}
+
+// WithGrantTimeout sets how long unclaimed grants are held.
+func WithGrantTimeout(d time.Duration) Option {
+	return func(c *Config) { c.GrantTimeout = d }
+}
+
+// WithFeedbackStarvationTimeout sets the background error-handling timeout.
+func WithFeedbackStarvationTimeout(d time.Duration) Option {
+	return func(c *Config) { c.FeedbackStarvationTimeout = d }
+}
+
+// WithMaxWindow caps the congestion window in bytes.
+func WithMaxWindow(bytes int) Option {
+	return func(c *Config) { c.MaxWindowBytes = bytes }
+}
+
+// CM is one host's Congestion Manager instance.
+type CM struct {
+	cfg    Config
+	clock  simtime.Clock
+	timers simtime.TimerFactory
+
+	nextFlowID FlowID
+	nextMFTag  int
+	flows      map[FlowID]*flowState
+	byKey      map[netsim.FlowKey]FlowID
+	macroflows map[macroflowKey]*Macroflow
+
+	acct Accounting
+}
+
+// New creates a Congestion Manager bound to the given clock and timer
+// factory. Under simulation both are provided by *simtime.Scheduler; the Go
+// micro-benchmarks use a wall clock.
+func New(clock simtime.Clock, timers simtime.TimerFactory, opts ...Option) *CM {
+	if clock == nil || timers == nil {
+		panic("cm: New requires a clock and a timer factory")
+	}
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cfg.fillDefaults()
+	return &CM{
+		cfg:        cfg,
+		clock:      clock,
+		timers:     timers,
+		flows:      make(map[FlowID]*flowState),
+		byKey:      make(map[netsim.FlowKey]FlowID),
+		macroflows: make(map[macroflowKey]*Macroflow),
+	}
+}
+
+// Config returns a copy of the effective configuration.
+func (cm *CM) Config() Config { return cm.cfg }
+
+// Now returns the CM's current time.
+func (cm *CM) Now() time.Duration { return cm.clock.Now() }
+
+// Accounting returns a copy of the API-call counters, used by the API-cost
+// model when reproducing the overhead experiments.
+func (cm *CM) Accounting() Accounting { return cm.acct }
+
+// macroflowKey identifies a macroflow: by default all flows to the same
+// destination host share one macroflow. The tag distinguishes macroflows
+// created by SplitFlow.
+type macroflowKey struct {
+	dstHost string
+	tag     int
+}
+
+// Open creates a CM flow for the (proto, src, dst) tuple and attaches it to
+// the macroflow for dst (creating the macroflow if needed). It corresponds to
+// cm_open; the source address is part of the key to support multihomed hosts,
+// a change the paper made between simulation and implementation.
+func (cm *CM) Open(proto netsim.Protocol, src, dst netsim.Addr) FlowID {
+	cm.acct.Opens++
+	key := netsim.FlowKey{Proto: proto, Src: src, Dst: dst}
+	if id, ok := cm.byKey[key]; ok {
+		// Re-opening an existing flow returns the same handle, matching the
+		// idempotent behaviour of the kernel module.
+		return id
+	}
+	id := cm.nextFlowID
+	cm.nextFlowID++
+	mf := cm.macroflowFor(macroflowKey{dstHost: dst.Host})
+	fl := &flowState{
+		id:         id,
+		key:        key,
+		mf:         mf,
+		dispatcher: DirectDispatcher(),
+		threshDown: cm.cfg.DefaultThreshDown,
+		threshUp:   cm.cfg.DefaultThreshUp,
+		weight:     1,
+		open:       true,
+	}
+	cm.flows[id] = fl
+	cm.byKey[key] = id
+	mf.addFlow(fl)
+	return id
+}
+
+// Lookup returns the flow ID for a transport flow key, or InvalidFlow if the
+// flow is not managed by the CM. The IP output hook uses it to find the flow
+// to charge.
+func (cm *CM) Lookup(key netsim.FlowKey) FlowID {
+	if id, ok := cm.byKey[key]; ok {
+		return id
+	}
+	return InvalidFlow
+}
+
+// Close releases a flow (cm_close). The macroflow and its congestion state
+// persist so that later flows to the same destination start with the learned
+// window and RTT — the behaviour that Figure 7 of the paper demonstrates.
+func (cm *CM) Close(f FlowID) {
+	fl, ok := cm.flows[f]
+	if !ok {
+		return
+	}
+	cm.acct.Closes++
+	fl.open = false
+	fl.mf.removeFlow(fl)
+	delete(cm.byKey, fl.key)
+	delete(cm.flows, f)
+}
+
+// MTU returns the maximum transmission unit for the flow's path (cm_mtu).
+func (cm *CM) MTU(f FlowID) int {
+	if fl, ok := cm.flows[f]; ok {
+		return fl.mf.mtu()
+	}
+	return cm.cfg.MTU
+}
+
+// FlowCount returns the number of open flows.
+func (cm *CM) FlowCount() int { return len(cm.flows) }
+
+// MacroflowCount returns the number of macroflows (including idle ones that
+// retain congestion state).
+func (cm *CM) MacroflowCount() int { return len(cm.macroflows) }
+
+// MacroflowOf returns the macroflow a flow currently belongs to, for tests
+// and experiments that inspect aggregation.
+func (cm *CM) MacroflowOf(f FlowID) *Macroflow {
+	if fl, ok := cm.flows[f]; ok {
+		return fl.mf
+	}
+	return nil
+}
+
+// macroflowFor returns (creating if necessary) the macroflow for a key.
+func (cm *CM) macroflowFor(key macroflowKey) *Macroflow {
+	if mf, ok := cm.macroflows[key]; ok {
+		return mf
+	}
+	mf := newMacroflow(cm, key)
+	cm.macroflows[key] = mf
+	return mf
+}
+
+// NotifyTransmit implements node.TransmitNotifier: the IP output routine
+// reports every transmission so the CM can charge it to the right macroflow.
+// Transmissions for flows the CM does not manage are ignored.
+func (cm *CM) NotifyTransmit(key netsim.FlowKey, nbytes int) {
+	id := cm.Lookup(key)
+	if id == InvalidFlow {
+		return
+	}
+	cm.Notify(id, nbytes)
+}
+
+var _ interface {
+	NotifyTransmit(key netsim.FlowKey, nbytes int)
+} = (*CM)(nil)

@@ -1,0 +1,412 @@
+package cm
+
+import (
+	"time"
+)
+
+// grant records permission given to a flow to send up to one MTU, not yet
+// accounted for by a cm_notify from the IP layer.
+type grant struct {
+	flow   *flowState
+	issued time.Duration
+	bytes  int
+}
+
+// MacroflowStats are cumulative counters for one macroflow.
+type MacroflowStats struct {
+	GrantsIssued      int64
+	GrantsReclaimed   int64
+	BytesCharged      int64
+	BytesAcked        int64
+	BytesLost         int64
+	Updates           int64
+	TransientSignals  int64
+	PersistentSignals int64
+	ECNSignals        int64
+	IdleRestarts      int64
+	UpdateCallbacks   int64
+}
+
+// Macroflow is the unit of congestion state sharing: all flows to the same
+// destination host share one macroflow, its congestion controller, scheduler
+// and RTT/loss estimates (paper §2).
+type Macroflow struct {
+	cm    *CM
+	key   macroflowKey
+	ctrl  Controller
+	sched Scheduler
+
+	flows map[FlowID]*flowState
+
+	// Window accounting (bytes).
+	outstanding  int // charged via Notify, not yet covered by feedback
+	grantedBytes int // granted but not yet charged
+	grants       []grant
+
+	// Path state shared across the macroflow.
+	srtt     time.Duration
+	rttvar   time.Duration
+	hasRTT   bool
+	lossEWMA float64
+
+	lastFeedback time.Duration
+	lastActivity time.Duration
+
+	pumping    bool
+	background simTimer
+	stats      MacroflowStats
+}
+
+// simTimer is the minimal timer surface the macroflow needs; satisfied by
+// simtime.Timer.
+type simTimer interface {
+	Reset(d time.Duration)
+	Stop()
+	Pending() bool
+}
+
+func newMacroflow(cm *CM, key macroflowKey) *Macroflow {
+	mf := &Macroflow{
+		cm:    cm,
+		key:   key,
+		flows: make(map[FlowID]*flowState),
+	}
+	mf.ctrl = cm.cfg.NewController(ControllerConfig{
+		MTU:               cm.cfg.MTU,
+		InitialWindowMTUs: cm.cfg.InitialWindowMTUs,
+		MaxWindowBytes:    cm.cfg.MaxWindowBytes,
+	})
+	mf.sched = cm.cfg.NewScheduler()
+	mf.background = cm.timers.NewTimer(mf.onBackgroundTimer)
+	mf.lastFeedback = cm.clock.Now()
+	mf.lastActivity = cm.clock.Now()
+	return mf
+}
+
+// Key fields exposed for tests and experiments.
+
+// DstHost returns the destination host aggregating this macroflow.
+func (m *Macroflow) DstHost() string { return m.key.dstHost }
+
+// Window returns the current congestion window in bytes.
+func (m *Macroflow) Window() int { return m.ctrl.Window() }
+
+// Outstanding returns the bytes charged but not yet covered by feedback.
+func (m *Macroflow) Outstanding() int { return m.outstanding }
+
+// SRTT returns the macroflow's smoothed RTT (zero before the first sample).
+func (m *Macroflow) SRTT() time.Duration { return m.srtt }
+
+// RTTVar returns the macroflow's RTT mean deviation.
+func (m *Macroflow) RTTVar() time.Duration { return m.rttvar }
+
+// LossRate returns the exponentially weighted loss estimate.
+func (m *Macroflow) LossRate() float64 { return m.lossEWMA }
+
+// Controller returns the macroflow's congestion controller.
+func (m *Macroflow) Controller() Controller { return m.ctrl }
+
+// SchedulerName returns the name of the flow scheduler in use.
+func (m *Macroflow) SchedulerName() string { return m.sched.Name() }
+
+// Stats returns a copy of the macroflow counters.
+func (m *Macroflow) Stats() MacroflowStats { return m.stats }
+
+// FlowCount returns the number of currently attached flows.
+func (m *Macroflow) FlowCount() int { return len(m.flows) }
+
+func (m *Macroflow) mtu() int { return m.cm.cfg.MTU }
+
+func (m *Macroflow) addFlow(fl *flowState) {
+	m.flows[fl.id] = fl
+	m.sched.Add(fl)
+}
+
+func (m *Macroflow) removeFlow(fl *flowState) {
+	// Reclaim any window held by the departing flow so other flows are not
+	// blocked by grants that will never be claimed.
+	if fl.unclaimedGrants > 0 {
+		for i := 0; i < len(m.grants); {
+			if m.grants[i].flow == fl {
+				m.grantedBytes -= m.grants[i].bytes
+				m.grants = append(m.grants[:i], m.grants[i+1:]...)
+				m.stats.GrantsReclaimed++
+				continue
+			}
+			i++
+		}
+		fl.unclaimedGrants = 0
+	}
+	delete(m.flows, fl.id)
+	m.sched.Remove(fl)
+	fl.pendingRequests = 0
+	m.pump()
+}
+
+// windowOpen reports whether the controller's window has room for another
+// MTU-sized grant, counting both charged bytes and unclaimed grants.
+func (m *Macroflow) windowOpen() bool {
+	return m.outstanding+m.grantedBytes+m.mtu() <= m.ctrl.Window() ||
+		(m.outstanding == 0 && m.grantedBytes == 0)
+}
+
+// pump is the grant loop: while the window is open and some flow has a
+// pending request, pick the next flow (scheduler), issue a grant and deliver
+// the cmapp_send callback. Reentrant calls (from within callbacks) are
+// flattened so the loop never recurses.
+func (m *Macroflow) pump() {
+	if m.pumping {
+		return
+	}
+	m.pumping = true
+	for {
+		if !m.windowOpen() {
+			break
+		}
+		fl := m.sched.Next()
+		if fl == nil {
+			break
+		}
+		fl.pendingRequests--
+		fl.unclaimedGrants++
+		fl.grantsReceived++
+		g := grant{flow: fl, issued: m.cm.clock.Now(), bytes: m.mtu()}
+		m.grants = append(m.grants, g)
+		m.grantedBytes += g.bytes
+		m.stats.GrantsIssued++
+		m.cm.acct.GrantsIssued++
+		m.lastActivity = m.cm.clock.Now()
+		if fl.sendCB != nil {
+			fl.dispatcher.DeliverSend(fl.id, fl.sendCB)
+		} else {
+			// A request with no registered callback cannot be honoured;
+			// reclaim the grant immediately so other flows can proceed.
+			m.reclaimGrant(fl)
+		}
+	}
+	m.pumping = false
+	m.armBackgroundTimer()
+}
+
+// reclaimGrant removes the oldest unclaimed grant belonging to fl, returning
+// whether one existed.
+func (m *Macroflow) reclaimGrant(fl *flowState) bool {
+	for i, g := range m.grants {
+		if g.flow == fl {
+			m.grants = append(m.grants[:i], m.grants[i+1:]...)
+			m.grantedBytes -= g.bytes
+			if fl.unclaimedGrants > 0 {
+				fl.unclaimedGrants--
+			}
+			m.stats.GrantsReclaimed++
+			return true
+		}
+	}
+	return false
+}
+
+// notify charges nbytes of an actual transmission to the macroflow
+// (cm_notify). nbytes of zero means the client declined its grant.
+func (m *Macroflow) notify(fl *flowState, nbytes int) {
+	if fl.unclaimedGrants > 0 {
+		m.reclaimGrant(fl)
+	}
+	if nbytes > 0 {
+		m.outstanding += nbytes
+		fl.bytesCharged += int64(nbytes)
+		m.stats.BytesCharged += int64(nbytes)
+	}
+	m.lastActivity = m.cm.clock.Now()
+	m.pump()
+}
+
+// update applies client feedback (cm_update) to the shared congestion state.
+func (m *Macroflow) update(fl *flowState, nsent, nrecd int, mode LossMode, rtt time.Duration) {
+	if nsent < nrecd {
+		nsent = nrecd
+	}
+	m.stats.Updates++
+	m.lastFeedback = m.cm.clock.Now()
+	m.lastActivity = m.cm.clock.Now()
+
+	// RTT estimation (Jacobson/Karels), shared across every flow of the
+	// macroflow so each connection benefits from the others' samples.
+	if rtt > 0 {
+		m.addRTTSample(rtt)
+	}
+
+	outstandingBefore := m.outstanding
+
+	// The bytes covered by this feedback are no longer outstanding.
+	switch mode {
+	case PersistentLoss:
+		// A timeout implies the pipe has drained.
+		m.outstanding = 0
+		m.stats.PersistentSignals++
+	default:
+		m.outstanding -= nsent
+		if m.outstanding < 0 {
+			m.outstanding = 0
+		}
+		if mode == TransientLoss {
+			m.stats.TransientSignals++
+		}
+		if mode == ECNLoss {
+			m.stats.ECNSignals++
+		}
+	}
+	lost := nsent - nrecd
+	m.stats.BytesAcked += int64(nrecd)
+	m.stats.BytesLost += int64(lost)
+	if nsent > 0 {
+		sampleLoss := float64(lost) / float64(nsent)
+		const alpha = 0.25
+		m.lossEWMA = (1-alpha)*m.lossEWMA + alpha*sampleLoss
+	}
+
+	// Congestion window validation: if the macroflow was using less than
+	// half of its window when this feedback was generated, the feedback does
+	// not justify further growth.
+	appLimited := outstandingBefore < m.ctrl.Window()/2
+	m.ctrl.OnFeedback(Feedback{SentBytes: nsent, ReceivedBytes: nrecd, Mode: mode, RTT: rtt, AppLimited: appLimited})
+
+	// Window state changed: hand out new grants and deliver threshold-based
+	// rate callbacks.
+	m.pump()
+	m.deliverRateCallbacks()
+}
+
+func (m *Macroflow) addRTTSample(rtt time.Duration) {
+	if !m.hasRTT {
+		m.srtt = rtt
+		m.rttvar = rtt / 2
+		m.hasRTT = true
+		return
+	}
+	diff := m.srtt - rtt
+	if diff < 0 {
+		diff = -diff
+	}
+	m.rttvar += (diff - m.rttvar) / 4
+	m.srtt += (rtt - m.srtt) / 8
+}
+
+// Rate returns the macroflow's estimated sustainable rate in bytes per
+// second: one congestion window per smoothed RTT. Before an RTT sample is
+// available a conservative default of one window per second is reported.
+func (m *Macroflow) Rate() float64 {
+	w := float64(m.ctrl.Window())
+	if !m.hasRTT || m.srtt <= 0 {
+		return w
+	}
+	return w / m.srtt.Seconds()
+}
+
+// flowRate apportions the macroflow rate to one flow according to scheduler
+// weights.
+func (m *Macroflow) flowRate(fl *flowState) float64 {
+	total := m.sched.TotalWeight()
+	if total <= 0 {
+		total = 1
+	}
+	return m.Rate() * m.sched.Weight(fl) / total
+}
+
+// status builds the Status snapshot for a flow.
+func (m *Macroflow) status(fl *flowState) Status {
+	return Status{
+		Rate:          m.flowRate(fl),
+		MacroflowRate: m.Rate(),
+		SRTT:          m.srtt,
+		RTTVar:        m.rttvar,
+		LossRate:      m.lossEWMA,
+		CWND:          m.ctrl.Window(),
+		Outstanding:   m.outstanding,
+		MTU:           m.mtu(),
+	}
+}
+
+// deliverRateCallbacks notifies flows whose registered thresholds have been
+// crossed since the last report (cmapp_update + cm_thresh semantics).
+func (m *Macroflow) deliverRateCallbacks() {
+	for _, fl := range m.flows {
+		if fl.updateCB == nil {
+			continue
+		}
+		rate := m.flowRate(fl)
+		if fl.everReported {
+			last := fl.lastReportedRate
+			if last > 0 {
+				if rate > last/fl.threshDown && rate < last*fl.threshUp {
+					continue
+				}
+			} else if rate == 0 {
+				continue
+			}
+		}
+		fl.everReported = true
+		fl.lastReportedRate = rate
+		m.stats.UpdateCallbacks++
+		m.cm.acct.UpdateCallbacks++
+		fl.dispatcher.DeliverUpdate(fl.id, m.status(fl), fl.updateCB)
+	}
+}
+
+// armBackgroundTimer keeps the per-macroflow timer running while there is
+// anything for the background task to watch (unclaimed grants or outstanding
+// data awaiting feedback).
+func (m *Macroflow) armBackgroundTimer() {
+	if len(m.grants) == 0 && m.outstanding == 0 {
+		m.background.Stop()
+		return
+	}
+	if m.background.Pending() {
+		return
+	}
+	interval := m.cm.cfg.GrantTimeout / 2
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	m.background.Reset(interval)
+}
+
+// onBackgroundTimer is the paper's "timer-driven component to perform
+// background tasks and error handling": it reclaims grants that were never
+// claimed with a cm_notify, and treats long feedback starvation with data
+// outstanding as persistent congestion so the macroflow cannot deadlock.
+func (m *Macroflow) onBackgroundTimer() {
+	now := m.cm.clock.Now()
+
+	// Expire stale grants.
+	expired := 0
+	for i := 0; i < len(m.grants); {
+		if now-m.grants[i].issued >= m.cm.cfg.GrantTimeout {
+			g := m.grants[i]
+			m.grants = append(m.grants[:i], m.grants[i+1:]...)
+			m.grantedBytes -= g.bytes
+			if g.flow.unclaimedGrants > 0 {
+				g.flow.unclaimedGrants--
+			}
+			m.stats.GrantsReclaimed++
+			expired++
+			continue
+		}
+		i++
+	}
+
+	// Feedback starvation: data has been outstanding with no feedback for a
+	// long time; assume persistent congestion and restart conservatively.
+	if m.outstanding > 0 && now-m.lastFeedback >= m.cm.cfg.FeedbackStarvationTimeout {
+		m.outstanding = 0
+		m.ctrl.OnIdleRestart()
+		m.stats.IdleRestarts++
+		m.lastFeedback = now
+		m.deliverRateCallbacks()
+	}
+
+	if expired > 0 || m.windowOpen() {
+		m.pump()
+	} else {
+		m.armBackgroundTimer()
+	}
+}

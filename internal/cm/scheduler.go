@@ -1,0 +1,171 @@
+package cm
+
+// Scheduler apportions a macroflow's transmission opportunities among its
+// constituent flows. The paper's implementation uses an unweighted
+// round-robin scheduler; a weighted variant is provided as the extension the
+// paper anticipates ("a standard unweighted round-robin scheduler...
+// currently").
+//
+// A scheduler only decides *which* flow receives the next grant; whether a
+// grant can be issued at all is the congestion controller's decision.
+type Scheduler interface {
+	// Name identifies the policy.
+	Name() string
+	// Add registers a flow with the scheduler.
+	Add(f *flowState)
+	// Remove deregisters a flow.
+	Remove(f *flowState)
+	// Next returns the next flow that has at least one pending request, or
+	// nil if no flow is eligible. Successive calls rotate fairly among
+	// eligible flows.
+	Next() *flowState
+	// Weight returns the scheduling weight of a flow (used to apportion the
+	// advertised per-flow rate in Status). Unweighted schedulers return 1.
+	Weight(f *flowState) float64
+	// TotalWeight returns the sum of weights of all registered flows (at
+	// least 1 to avoid division by zero).
+	TotalWeight() float64
+}
+
+// roundRobinScheduler grants eligible flows in strict rotation.
+type roundRobinScheduler struct {
+	flows []*flowState
+	next  int
+}
+
+// NewRoundRobinScheduler returns the paper's default unweighted round-robin
+// scheduler.
+func NewRoundRobinScheduler() Scheduler { return &roundRobinScheduler{} }
+
+func (s *roundRobinScheduler) Name() string { return "round-robin" }
+
+func (s *roundRobinScheduler) Add(f *flowState) { s.flows = append(s.flows, f) }
+
+func (s *roundRobinScheduler) Remove(f *flowState) {
+	for i, fl := range s.flows {
+		if fl == f {
+			s.flows = append(s.flows[:i], s.flows[i+1:]...)
+			if s.next > i {
+				s.next--
+			}
+			if len(s.flows) > 0 {
+				s.next %= len(s.flows)
+			} else {
+				s.next = 0
+			}
+			return
+		}
+	}
+}
+
+func (s *roundRobinScheduler) Next() *flowState {
+	n := len(s.flows)
+	for i := 0; i < n; i++ {
+		idx := (s.next + i) % n
+		f := s.flows[idx]
+		if f.pendingRequests > 0 {
+			s.next = (idx + 1) % n
+			return f
+		}
+	}
+	return nil
+}
+
+func (s *roundRobinScheduler) Weight(f *flowState) float64 { return 1 }
+
+func (s *roundRobinScheduler) TotalWeight() float64 {
+	if len(s.flows) == 0 {
+		return 1
+	}
+	return float64(len(s.flows))
+}
+
+// weightedRoundRobinScheduler grants flows in proportion to their weights
+// using a smooth deficit-style rotation. Flows carry a weight (default 1)
+// set via CM.SetWeight.
+type weightedRoundRobinScheduler struct {
+	flows   []*flowState
+	credits map[*flowState]float64
+}
+
+// NewWeightedRoundRobinScheduler returns a weighted round-robin scheduler.
+func NewWeightedRoundRobinScheduler() Scheduler {
+	return &weightedRoundRobinScheduler{credits: make(map[*flowState]float64)}
+}
+
+func (s *weightedRoundRobinScheduler) Name() string { return "weighted-round-robin" }
+
+func (s *weightedRoundRobinScheduler) Add(f *flowState) {
+	s.flows = append(s.flows, f)
+	s.credits[f] = 0
+}
+
+func (s *weightedRoundRobinScheduler) Remove(f *flowState) {
+	for i, fl := range s.flows {
+		if fl == f {
+			s.flows = append(s.flows[:i], s.flows[i+1:]...)
+			delete(s.credits, f)
+			return
+		}
+	}
+}
+
+// Next picks the eligible flow with the highest accumulated credit, then
+// charges it one unit. Credits accrue proportionally to weight every call, so
+// over time grants are distributed in weight proportion among flows that stay
+// eligible.
+func (s *weightedRoundRobinScheduler) Next() *flowState {
+	var best *flowState
+	anyEligible := false
+	for _, f := range s.flows {
+		if f.pendingRequests <= 0 {
+			continue
+		}
+		anyEligible = true
+		s.credits[f] += f.weight
+		if best == nil || s.credits[f] > s.credits[best] {
+			best = f
+		}
+	}
+	if !anyEligible {
+		return nil
+	}
+	s.credits[best] -= s.totalEligibleWeight()
+	return best
+}
+
+func (s *weightedRoundRobinScheduler) totalEligibleWeight() float64 {
+	var t float64
+	for _, f := range s.flows {
+		if f.pendingRequests > 0 {
+			t += f.weight
+		}
+	}
+	if t <= 0 {
+		return 1
+	}
+	return t
+}
+
+func (s *weightedRoundRobinScheduler) Weight(f *flowState) float64 {
+	if f.weight <= 0 {
+		return 1
+	}
+	return f.weight
+}
+
+func (s *weightedRoundRobinScheduler) TotalWeight() float64 {
+	var t float64
+	for _, f := range s.flows {
+		t += s.Weight(f)
+	}
+	if t <= 0 {
+		return 1
+	}
+	return t
+}
+
+var (
+	_ Scheduler = (*roundRobinScheduler)(nil)
+	_ Scheduler = (*weightedRoundRobinScheduler)(nil)
+)

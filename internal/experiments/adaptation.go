@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/libcm"
+	"repro/internal/netsim"
+	"repro/internal/trace"
+)
+
+// AdaptationConfig parameterises the layered-streaming adaptation traces of
+// Figures 8, 9 and 10: a layered server streams to a client over a shared
+// path while on/off cross-traffic changes the available bandwidth, and the
+// experiment records the transmission rate and the rate the CM reports.
+type AdaptationConfig struct {
+	// Mode selects the ALF (Figure 8) or rate-callback (Figure 9/10) API.
+	Mode app.LayeredMode
+	// Duration is the length of the trace.
+	Duration time.Duration
+	// Feedback is the receiver's feedback policy; Figure 10 delays feedback
+	// by min(500 packets, 2000 ms).
+	Feedback app.FeedbackPolicy
+	// Layers are the encoding rates in bytes/second.
+	Layers []float64
+	// PathBandwidth and RTT describe the wide-area path.
+	PathBandwidth netsim.Bandwidth
+	RTT           time.Duration
+	// CrossRate is the cross-traffic rate during on periods (bytes/second);
+	// CrossOn/CrossOff are the period lengths.
+	CrossRate float64
+	CrossOn   time.Duration
+	CrossOff  time.Duration
+	// TraceWindow is the resampling interval of the reported series.
+	TraceWindow time.Duration
+	Seed        int64
+}
+
+func (c *AdaptationConfig) fillDefaults() {
+	if c.Duration <= 0 {
+		c.Duration = 25 * time.Second
+	}
+	if len(c.Layers) == 0 {
+		// Four layers spanning roughly the 0-2.5 MB/s range of Figures 8-9.
+		c.Layers = []float64{312_500, 625_000, 1_250_000, 2_500_000}
+	}
+	if c.PathBandwidth == 0 {
+		c.PathBandwidth = 20 * netsim.Mbps
+	}
+	if c.RTT <= 0 {
+		c.RTT = 70 * time.Millisecond
+	}
+	if c.CrossRate == 0 {
+		c.CrossRate = 1_200_000
+	}
+	if c.CrossOn <= 0 {
+		c.CrossOn = 5 * time.Second
+	}
+	if c.CrossOff <= 0 {
+		c.CrossOff = 5 * time.Second
+	}
+	if c.TraceWindow <= 0 {
+		c.TraceWindow = 500 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 61
+	}
+}
+
+// AdaptationResult holds the traces of one adaptation run.
+type AdaptationResult struct {
+	Config AdaptationConfig
+	// TransmissionRate is the measured sending rate (bytes/second buckets).
+	TransmissionRate *trace.Series
+	// ReportedRate is the rate the CM reported to the application.
+	ReportedRate *trace.Series
+	// LayerRate is the nominal rate of the layer the application selected.
+	LayerRate *trace.Series
+	// ClientRate is the rate observed at the receiver.
+	ClientRate *trace.Series
+	// Stats are the server's counters.
+	Stats app.LayeredStats
+	// ReportsSent is the number of feedback reports the receiver generated.
+	ReportsSent int64
+}
+
+// RunAdaptation runs one layered-streaming adaptation experiment.
+func RunAdaptation(cfg AdaptationConfig) AdaptationResult {
+	cfg.fillDefaults()
+	path := Path{
+		Bandwidth:    cfg.PathBandwidth,
+		OneWayDelay:  cfg.RTT / 2,
+		QueuePackets: 150,
+		Seed:         cfg.Seed,
+	}
+	w := newWorld(path, true)
+	lib := libcm.New(w.cm, w.sched, libcm.ModeAuto)
+
+	client, err := app.NewLayeredClient(w.rcvr, 7000, cfg.Feedback, cfg.TraceWindow)
+	if err != nil {
+		return AdaptationResult{Config: cfg}
+	}
+	srv, err := app.NewLayeredServer(w.sender, lib, client.Addr(), app.LayeredConfig{
+		Mode:        cfg.Mode,
+		Layers:      cfg.Layers,
+		PacketSize:  1000,
+		TraceWindow: cfg.TraceWindow,
+	})
+	if err != nil {
+		return AdaptationResult{Config: cfg}
+	}
+	var cross *app.OnOffSource
+	if cfg.CrossRate > 0 {
+		cross, err = app.NewOnOffSource(w.sender, netsim.Addr{Host: "receiver", Port: 9990},
+			cfg.CrossRate, 1000, cfg.CrossOn, cfg.CrossOff)
+		if err == nil {
+			// Cross traffic starts after a few seconds so the trace shows the
+			// application ramping up, losing bandwidth, and recovering.
+			w.sched.After(3*time.Second, cross.Start)
+		}
+	}
+	srv.Start()
+	w.sched.RunUntil(cfg.Duration)
+	srv.Stop()
+	if cross != nil {
+		cross.Stop()
+	}
+
+	return AdaptationResult{
+		Config:           cfg,
+		TransmissionRate: srv.TransmissionRateSeries().Resample(0, cfg.Duration, cfg.TraceWindow),
+		ReportedRate:     srv.ReportedRateSeries().Resample(0, cfg.Duration, cfg.TraceWindow),
+		LayerRate:        srv.LayerRateSeries().Resample(0, cfg.Duration, cfg.TraceWindow),
+		ClientRate:       client.RateSeries().Resample(0, cfg.Duration, cfg.TraceWindow),
+		Stats:            srv.Stats(),
+		ReportsSent:      client.ReportsSent(),
+	}
+}
+
+// Fig8Config returns the configuration of Figure 8 (ALF API, per-packet
+// feedback, ~25 s trace).
+func Fig8Config() AdaptationConfig {
+	return AdaptationConfig{Mode: app.ModeALF, Duration: 25 * time.Second, Feedback: app.FeedbackPolicy{EveryPackets: 1}}
+}
+
+// Fig9Config returns the configuration of Figure 9 (rate-callback API,
+// per-packet feedback, ~20 s trace).
+func Fig9Config() AdaptationConfig {
+	return AdaptationConfig{Mode: app.ModeRateCallback, Duration: 20 * time.Second, Feedback: app.FeedbackPolicy{EveryPackets: 1}}
+}
+
+// Fig10Config returns the configuration of Figure 10 (rate-callback API with
+// feedback delayed by min(500 packets, 2000 ms), ~70 s trace).
+func Fig10Config() AdaptationConfig {
+	return AdaptationConfig{
+		Mode:     app.ModeRateCallback,
+		Duration: 70 * time.Second,
+		Feedback: app.FeedbackPolicy{EveryPackets: 500, MaxDelay: 2 * time.Second},
+	}
+}
+
+// Table renders the adaptation trace as time series rows (KB/s), matching the
+// series plotted in Figures 8-10.
+func (r AdaptationResult) Table() string {
+	n := r.TransmissionRate.Len()
+	rows := make([][]string, 0, n)
+	for i := 0; i < n; i++ {
+		pt := r.TransmissionRate.At(i)
+		rep, layer, cli := 0.0, 0.0, 0.0
+		if i < r.ReportedRate.Len() {
+			rep = r.ReportedRate.At(i).V
+		}
+		if i < r.LayerRate.Len() {
+			layer = r.LayerRate.At(i).V
+		}
+		if i < r.ClientRate.Len() {
+			cli = r.ClientRate.At(i).V
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.1f", pt.T.Seconds()),
+			fmt.Sprintf("%.0f", pt.V/1024),
+			fmt.Sprintf("%.0f", rep/1024),
+			fmt.Sprintf("%.0f", layer/1024),
+			fmt.Sprintf("%.0f", cli/1024),
+		})
+	}
+	title := fmt.Sprintf("Adaptation trace (%s API, %d layer switches, %d rate callbacks, %d reports)\n",
+		r.Config.Mode, r.Stats.LayerSwitches, r.Stats.RateCallbacks, r.ReportsSent)
+	return title + formatTable([]string{"t(s)", "tx KB/s", "CM-reported KB/s", "layer KB/s", "client KB/s"}, rows)
+}
+
+// CSV renders the adaptation traces as CSV for plotting.
+func (r AdaptationResult) CSV() string {
+	return trace.CSV(r.TransmissionRate, r.ReportedRate, r.LayerRate, r.ClientRate)
+}

@@ -1,0 +1,166 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (§4), plus the microbenchmarks and ablations listed in
+// DESIGN.md. Each runner builds its own deterministic topology, executes the
+// workload under the simulator, and returns a result structure whose Table
+// method prints the same rows/series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cm"
+	"repro/internal/netsim"
+	"repro/internal/node"
+	"repro/internal/simtime"
+	"repro/internal/tcp"
+)
+
+// Path describes the network path used by an experiment.
+type Path struct {
+	Bandwidth    netsim.Bandwidth
+	OneWayDelay  time.Duration
+	LossRate     float64
+	QueuePackets int
+	Seed         int64
+}
+
+// testbedLAN reproduces the paper's 100 Mbps switched Ethernet testbed.
+func testbedLAN() Path {
+	return Path{Bandwidth: 100 * netsim.Mbps, OneWayDelay: 250 * time.Microsecond, QueuePackets: 300, Seed: 1}
+}
+
+// dummynetWAN reproduces the Dummynet-shaped 10 Mbps / 60 ms RTT channel of
+// Figure 3.
+func dummynetWAN(lossPct float64, seed int64) Path {
+	return Path{
+		Bandwidth:    10 * netsim.Mbps,
+		OneWayDelay:  30 * time.Millisecond,
+		LossRate:     lossPct / 100,
+		QueuePackets: 120,
+		Seed:         seed,
+	}
+}
+
+// vbnsPath approximates the MIT-Utah vBNS path of Figures 7-10: a few Mbit/s
+// of available bandwidth and roughly 70 ms of round-trip time.
+func vbnsPath(seed int64) Path {
+	return Path{Bandwidth: 20 * netsim.Mbps, OneWayDelay: 35 * time.Millisecond, QueuePackets: 150, Seed: seed}
+}
+
+// world is a two-host topology with an optional Congestion Manager on the
+// sender.
+type world struct {
+	sched  *simtime.Scheduler
+	net    *node.Network
+	duplex *netsim.Duplex
+	cm     *cm.CM
+	sender *node.Host
+	rcvr   *node.Host
+}
+
+// newWorld builds sender<->receiver joined by the path. withCM installs a
+// Congestion Manager (and the IP notify hook) on the sender.
+func newWorld(p Path, withCM bool, cmOpts ...cm.Option) *world {
+	s := simtime.NewScheduler()
+	nw := node.NewNetwork(s)
+	d := nw.ConnectDuplex("sender", "receiver", netsim.LinkConfig{
+		Bandwidth:    p.Bandwidth,
+		Delay:        p.OneWayDelay,
+		LossRate:     p.LossRate,
+		QueuePackets: p.QueuePackets,
+		Seed:         p.Seed,
+	})
+	w := &world{sched: s, net: nw, duplex: d, sender: nw.Host("sender"), rcvr: nw.Host("receiver")}
+	if withCM {
+		w.cm = cm.New(s, s, cmOpts...)
+		w.sender.SetTransmitNotifier(w.cm)
+	}
+	return w
+}
+
+// senderTCPConfig returns the tcp.Config for the data sender under the given
+// congestion-control variant.
+func (w *world) senderTCPConfig(cc tcp.CongestionControl) tcp.Config {
+	cfg := tcp.Config{CongestionControl: cc, DelayedAck: true, RecvWindow: 1 << 20}
+	if cc == tcp.CCCM {
+		cfg.CM = w.cm
+	}
+	return cfg
+}
+
+// bulkTransfer runs one sender->receiver TCP transfer of n bytes and returns
+// the time from connection establishment until the receiver has seen all the
+// data and the FIN, plus the sender endpoint for statistics. It runs the
+// simulation until completion or deadline. recvWindow sets the receiver's
+// advertised window (0 uses 1 MB); the Figure 4 LAN experiment uses the
+// 64 KB default socket buffer of the paper's era so the flow is
+// window-limited rather than queue-overflow-limited, as on the real testbed.
+func (w *world) bulkTransfer(cc tcp.CongestionControl, n int, port int, deadline time.Duration, recvWindow int) (time.Duration, *tcp.Endpoint, error) {
+	if recvWindow <= 0 {
+		recvWindow = 1 << 20
+	}
+	var delivered int64
+	var doneAt time.Duration
+	var established time.Duration
+	_, err := tcp.Listen(w.rcvr, port, tcp.Config{DelayedAck: true, RecvWindow: recvWindow}, func(ep *tcp.Endpoint) {
+		ep.OnReceive(func(k int) { delivered += int64(k) })
+		ep.OnClosed(func() { doneAt = w.sched.Now() })
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	senderCfg := w.senderTCPConfig(cc)
+	senderCfg.RecvWindow = recvWindow
+	sender, err := tcp.Dial(w.sender, netsim.Addr{Host: "receiver", Port: port}, senderCfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	sender.OnEstablished(func() {
+		established = w.sched.Now()
+		sender.Send(n)
+		sender.Close()
+	})
+	w.sched.RunUntil(deadline)
+	if delivered < int64(n) || doneAt == 0 {
+		return 0, sender, fmt.Errorf("transfer incomplete: %d of %d bytes by %v", delivered, n, w.sched.Now())
+	}
+	return doneAt - established, sender, nil
+}
+
+// formatTable renders rows of columns with a header, aligned for terminal
+// output.
+func formatTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cols []string) {
+		for i, c := range cols {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}

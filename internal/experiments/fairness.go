@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/tcp"
+)
+
+// FairnessConfig parameterises the ensemble-aggressiveness experiment behind
+// the paper's correctness claim in §4: "by integrating flow information
+// between both kernel protocols and user applications, we ensure that an
+// ensemble of concurrent flows is not an overly aggressive user of the
+// network." An ensemble of N web-like connections from one host competes
+// with a single independent TCP for a shared bottleneck; with the CM the
+// ensemble shares one macroflow and should claim roughly half the link, while
+// N independent TCP connections claim roughly N/(N+1) of it.
+type FairnessConfig struct {
+	// EnsembleFlows is the number of concurrent connections in the ensemble.
+	EnsembleFlows int
+	// Duration is how long the competition runs.
+	Duration time.Duration
+	// Path describes the shared bottleneck.
+	Path Path
+}
+
+func (c *FairnessConfig) fillDefaults() {
+	if c.EnsembleFlows <= 0 {
+		c.EnsembleFlows = 4
+	}
+	if c.Duration <= 0 {
+		c.Duration = 30 * time.Second
+	}
+	if c.Path.Bandwidth == 0 {
+		c.Path = Path{Bandwidth: 10 * netsim.Mbps, OneWayDelay: 30 * time.Millisecond, QueuePackets: 120, Seed: 71}
+	}
+}
+
+// FairnessResult reports the bandwidth shares of the ensemble under both
+// configurations.
+type FairnessResult struct {
+	Config FairnessConfig
+	// CMEnsembleShare is the ensemble's fraction of the total goodput when
+	// its connections share one CM macroflow.
+	CMEnsembleShare float64
+	// IndependentEnsembleShare is the same fraction when the ensemble's
+	// connections each run their own native congestion control.
+	IndependentEnsembleShare float64
+	// FairShare is the share one aggregate competing with one other flow
+	// would get (0.5).
+	FairShare float64
+}
+
+// RunFairness runs the competition in both configurations.
+func RunFairness(cfg FairnessConfig) FairnessResult {
+	cfg.fillDefaults()
+	return FairnessResult{
+		Config:                   cfg,
+		CMEnsembleShare:          fairnessRun(cfg, true),
+		IndependentEnsembleShare: fairnessRun(cfg, false),
+		FairShare:                0.5,
+	}
+}
+
+// fairnessRun starts the ensemble (CM-managed or independent) plus one
+// independent competitor, lets them run for the configured duration and
+// returns the ensemble's share of the delivered bytes.
+func fairnessRun(cfg FairnessConfig, ensembleUsesCM bool) float64 {
+	w := newWorld(cfg.Path, ensembleUsesCM)
+
+	startFlow := func(port int, cc tcp.CongestionControl) *int64 {
+		delivered := new(int64)
+		_, err := tcp.Listen(w.rcvr, port, tcp.Config{DelayedAck: true, RecvWindow: 1 << 20}, func(ep *tcp.Endpoint) {
+			ep.OnReceive(func(n int) { *delivered += int64(n) })
+		})
+		if err != nil {
+			return delivered
+		}
+		senderCfg := w.senderTCPConfig(cc)
+		ep, err := tcp.Dial(w.sender, netsim.Addr{Host: "receiver", Port: port}, senderCfg)
+		if err != nil {
+			return delivered
+		}
+		ep.OnEstablished(func() {
+			// Effectively unbounded data: the flow stays backlogged for the
+			// whole experiment.
+			ep.Send(1 << 30)
+		})
+		return delivered
+	}
+
+	ensembleCC := tcp.CCNative
+	if ensembleUsesCM {
+		ensembleCC = tcp.CCCM
+	}
+	ensemble := make([]*int64, cfg.EnsembleFlows)
+	for i := range ensemble {
+		ensemble[i] = startFlow(6000+i, ensembleCC)
+	}
+	competitor := startFlow(7000, tcp.CCNative)
+
+	w.sched.RunUntil(cfg.Duration)
+
+	var ensembleBytes int64
+	for _, d := range ensemble {
+		ensembleBytes += *d
+	}
+	total := ensembleBytes + *competitor
+	if total == 0 {
+		return 0
+	}
+	return float64(ensembleBytes) / float64(total)
+}
+
+// Table renders the fairness comparison.
+func (r FairnessResult) Table() string {
+	n := r.Config.EnsembleFlows
+	rows := [][]string{
+		{fmt.Sprintf("%d TCP/CM connections (one macroflow)", n), fmt.Sprintf("%.2f", r.CMEnsembleShare)},
+		{fmt.Sprintf("%d independent TCP connections", n), fmt.Sprintf("%.2f", r.IndependentEnsembleShare)},
+		{"fair share for one aggregate", fmt.Sprintf("%.2f", r.FairShare)},
+		{fmt.Sprintf("aggressive share (%d/%d)", n, n+1), fmt.Sprintf("%.2f", float64(n)/float64(n+1))},
+	}
+	return "Ensemble aggressiveness: share of a shared bottleneck taken from one competing TCP\n" +
+		formatTable([]string{"ensemble configuration", "bandwidth share"}, rows)
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+func TestFairnessEnsembleNotOverlyAggressive(t *testing.T) {
+	cfg := FairnessConfig{
+		EnsembleFlows: 4,
+		Duration:      20 * time.Second,
+		Path:          Path{Bandwidth: 10 * netsim.Mbps, OneWayDelay: 20 * time.Millisecond, QueuePackets: 100, Seed: 71},
+	}
+	res := RunFairness(cfg)
+	// With the CM, the ensemble of 4 connections shares one macroflow and
+	// should take roughly a fair (single-flow) share of the bottleneck.
+	if res.CMEnsembleShare < 0.30 || res.CMEnsembleShare > 0.70 {
+		t.Fatalf("CM ensemble share = %.2f, want roughly fair (0.30-0.70)", res.CMEnsembleShare)
+	}
+	// Without the CM, 4 independent connections out-compete the single TCP.
+	if res.IndependentEnsembleShare < 0.65 {
+		t.Fatalf("independent ensemble share = %.2f, want > 0.65 (aggressive)", res.IndependentEnsembleShare)
+	}
+	if res.CMEnsembleShare >= res.IndependentEnsembleShare {
+		t.Fatalf("the CM ensemble (%.2f) should be less aggressive than independent connections (%.2f)",
+			res.CMEnsembleShare, res.IndependentEnsembleShare)
+	}
+	if res.Table() == "" {
+		t.Fatal("table rendering broken")
+	}
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/tcp"
+)
+
+// Fig3Config parameterises the Figure 3 experiment: bulk TCP throughput as a
+// function of the packet loss rate on a 10 Mbps, 60 ms RTT Dummynet channel,
+// comparing TCP with native (Linux) congestion control against TCP whose
+// congestion control is performed by the CM.
+type Fig3Config struct {
+	// LossPercents are the loss rates to sweep (percent).
+	LossPercents []float64
+	// TransferBytes is the size of each bulk transfer.
+	TransferBytes int
+	// Trials averages several independently seeded runs per point.
+	Trials int
+	// Deadline bounds each run in virtual time.
+	Deadline time.Duration
+}
+
+func (c *Fig3Config) fillDefaults() {
+	if len(c.LossPercents) == 0 {
+		c.LossPercents = []float64{0, 0.5, 1, 1.5, 2, 2.5, 3, 3.5, 4, 4.5, 5}
+	}
+	if c.TransferBytes <= 0 {
+		c.TransferBytes = 2_000_000
+	}
+	if c.Trials <= 0 {
+		c.Trials = 3
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 30 * time.Minute
+	}
+}
+
+// Fig3Point is one x-position of Figure 3.
+type Fig3Point struct {
+	LossPct    float64
+	CMKBps     float64
+	LinuxKBps  float64
+	CMFailed   int // runs that did not finish before the deadline
+	LinuxFail  int
+	TrialCount int
+}
+
+// Fig3Result is the reproduction of Figure 3.
+type Fig3Result struct {
+	Config Fig3Config
+	Points []Fig3Point
+}
+
+// RunFig3 executes the Figure 3 sweep.
+func RunFig3(cfg Fig3Config) Fig3Result {
+	cfg.fillDefaults()
+	res := Fig3Result{Config: cfg}
+	for _, loss := range cfg.LossPercents {
+		pt := Fig3Point{LossPct: loss, TrialCount: cfg.Trials}
+		var cmSum, nativeSum float64
+		var cmRuns, nativeRuns int
+		for trial := 0; trial < cfg.Trials; trial++ {
+			seed := int64(1000*loss) + int64(trial)*7919 + 1
+			if kbps, ok := fig3Run(tcp.CCCM, loss, seed, cfg); ok {
+				cmSum += kbps
+				cmRuns++
+			} else {
+				pt.CMFailed++
+			}
+			if kbps, ok := fig3Run(tcp.CCNative, loss, seed, cfg); ok {
+				nativeSum += kbps
+				nativeRuns++
+			} else {
+				pt.LinuxFail++
+			}
+		}
+		if cmRuns > 0 {
+			pt.CMKBps = cmSum / float64(cmRuns)
+		}
+		if nativeRuns > 0 {
+			pt.LinuxKBps = nativeSum / float64(nativeRuns)
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res
+}
+
+func fig3Run(cc tcp.CongestionControl, lossPct float64, seed int64, cfg Fig3Config) (float64, bool) {
+	w := newWorld(dummynetWAN(lossPct, seed), cc == tcp.CCCM)
+	elapsed, _, err := w.bulkTransfer(cc, cfg.TransferBytes, 5001, cfg.Deadline, 256*1024)
+	if err != nil || elapsed <= 0 {
+		return 0, false
+	}
+	kbps := float64(cfg.TransferBytes) / elapsed.Seconds() / 1024
+	return kbps, true
+}
+
+// Table renders the result in the paper's units (KB/s vs loss %).
+func (r Fig3Result) Table() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.1f", p.LossPct),
+			fmt.Sprintf("%.0f", p.CMKBps),
+			fmt.Sprintf("%.0f", p.LinuxKBps),
+			fmt.Sprintf("%.2f", safeRatio(p.CMKBps, p.LinuxKBps)),
+		})
+	}
+	return "Figure 3: throughput vs. packet loss (10 Mbps link, 60 ms RTT)\n" +
+		formatTable([]string{"loss%", "TCP/CM KB/s", "TCP/Linux KB/s", "CM/Linux"}, rows)
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

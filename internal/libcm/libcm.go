@@ -1,0 +1,302 @@
+// Package libcm models the user-space CM library of the paper (§2.2). It
+// gives applications the convenience of a callback-based API while standing
+// in for the kernel/user notification machinery the paper chose: a single
+// per-application control socket that the application select()s on, plus
+// ioctls that drain batched notifications ("which flows may send", "what are
+// the current network conditions").
+//
+// In the simulation all code runs in one address space, so what libcm
+// preserves is the *structure* of the boundary: notifications are queued
+// rather than delivered inline, they are drained in batches, and every
+// crossing (select wakeup, ioctl, syscall) is counted so the API-overhead
+// experiments (Table 1, Figure 6) and the bulk-call ablation can account for
+// them.
+package libcm
+
+import (
+	"time"
+
+	"repro/internal/cm"
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+)
+
+// Mode selects how the application consumes notifications.
+type Mode int
+
+const (
+	// ModeAuto lets libcm provide the event loop: as soon as the control
+	// socket becomes ready a dispatch is scheduled (the application is
+	// "coded with the CM in mind").
+	ModeAuto Mode = iota
+	// ModeManual leaves draining to the application: it calls Ready and
+	// Dispatch from its own select loop or polling schedule.
+	ModeManual
+	// ModeSignal models the SIGIO option: libcm invokes the registered
+	// signal handler when the control socket becomes ready; the handler is
+	// expected to call Dispatch.
+	ModeSignal
+)
+
+// Stats counts the kernel/user boundary crossings libcm performs on behalf of
+// the application.
+type Stats struct {
+	// Selects counts select() wake-ups on the control socket.
+	Selects int64
+	// Ioctls counts control-socket ioctls (send-list drains, status reads,
+	// and per-call requests/updates/notifies).
+	Ioctls int64
+	// Syscalls counts other system calls (open/close of the control socket).
+	Syscalls int64
+	// SendCallbacks and UpdateCallbacks count application callbacks
+	// delivered.
+	SendCallbacks   int64
+	UpdateCallbacks int64
+	// Dispatches counts Dispatch invocations; MaxSendBatch records the
+	// largest number of send grants drained by a single ioctl, the benefit
+	// of returning all ready flows at once (§2.2.2).
+	Dispatches   int64
+	MaxSendBatch int
+	// Signals counts SIGIO-style notifications delivered in ModeSignal.
+	Signals int64
+}
+
+// Lib is one application's instance of the CM library. It implements
+// cm.Dispatcher for the flows it manages.
+type Lib struct {
+	cm     *cm.CM
+	timers simtime.TimerFactory
+	mode   Mode
+
+	pendingSend   []cm.FlowID
+	pendingStatus map[cm.FlowID]cm.Status
+	sendCBs       map[cm.FlowID]cm.SendCallback
+	updateCBs     map[cm.FlowID]cm.UpdateCallback
+
+	dispatchTimer     simtime.Timer
+	dispatchScheduled bool
+	signalHandler     func()
+	signalPending     bool
+
+	stats Stats
+}
+
+// New creates a library instance bound to a CM and a timer factory (used to
+// schedule automatic dispatches in ModeAuto).
+func New(c *cm.CM, timers simtime.TimerFactory, mode Mode) *Lib {
+	if c == nil || timers == nil {
+		panic("libcm: New requires a CM and a timer factory")
+	}
+	l := &Lib{
+		cm:            c,
+		timers:        timers,
+		mode:          mode,
+		pendingStatus: make(map[cm.FlowID]cm.Status),
+		sendCBs:       make(map[cm.FlowID]cm.SendCallback),
+		updateCBs:     make(map[cm.FlowID]cm.UpdateCallback),
+	}
+	l.dispatchTimer = timers.NewTimer(func() {
+		l.dispatchScheduled = false
+		l.Dispatch()
+	})
+	// Creating the per-application control socket costs one system call.
+	l.stats.Syscalls++
+	return l
+}
+
+// Stats returns a copy of the boundary-crossing counters.
+func (l *Lib) Stats() Stats { return l.stats }
+
+// CM returns the underlying Congestion Manager (used by in-process helpers
+// such as the congestion-controlled UDP socket).
+func (l *Lib) CM() *cm.CM { return l.cm }
+
+// SetSignalHandler registers the handler invoked in ModeSignal when the
+// control socket becomes ready.
+func (l *Lib) SetSignalHandler(fn func()) { l.signalHandler = fn }
+
+// Open creates a CM flow whose callbacks are delivered through this library
+// instance (cm_open via libcm).
+func (l *Lib) Open(proto netsim.Protocol, src, dst netsim.Addr) cm.FlowID {
+	l.stats.Syscalls++
+	f := l.cm.Open(proto, src, dst)
+	l.cm.SetDispatcher(f, l)
+	return f
+}
+
+// Close releases the flow (cm_close).
+func (l *Lib) Close(f cm.FlowID) {
+	l.stats.Syscalls++
+	l.cm.Close(f)
+	delete(l.sendCBs, f)
+	delete(l.updateCBs, f)
+	delete(l.pendingStatus, f)
+}
+
+// MTU returns the flow's MTU (cm_mtu); the value is cached by real libcm so
+// no crossing is charged.
+func (l *Lib) MTU(f cm.FlowID) int { return l.cm.MTU(f) }
+
+// RegisterSend registers the application's cmapp_send callback.
+func (l *Lib) RegisterSend(f cm.FlowID, cb cm.SendCallback) {
+	l.sendCBs[f] = cb
+	l.cm.RegisterSend(f, cb)
+}
+
+// RegisterUpdate registers the application's cmapp_update callback.
+func (l *Lib) RegisterUpdate(f cm.FlowID, cb cm.UpdateCallback) {
+	l.updateCBs[f] = cb
+	l.cm.RegisterUpdate(f, cb)
+}
+
+// Request asks for permission to send (cm_request); one ioctl.
+func (l *Lib) Request(f cm.FlowID) {
+	l.stats.Ioctls++
+	l.cm.Request(f)
+}
+
+// BulkRequest requests permission for several flows with a single ioctl
+// (cm_bulk_request, §5 Optimizations).
+func (l *Lib) BulkRequest(flows []cm.FlowID) {
+	l.stats.Ioctls++
+	l.cm.BulkRequest(flows)
+}
+
+// Notify charges an actual transmission to the flow (cm_notify); one ioctl.
+// Connected sockets normally do not need it because the kernel attributes the
+// transmission automatically — this is the extra cost of the ALF/noconnect
+// variant in Table 1.
+func (l *Lib) Notify(f cm.FlowID, nsent int) {
+	l.stats.Ioctls++
+	l.cm.Notify(f, nsent)
+}
+
+// Update reports receiver feedback (cm_update); one ioctl.
+func (l *Lib) Update(f cm.FlowID, nsent, nrecd int, mode cm.LossMode, rtt time.Duration) {
+	l.stats.Ioctls++
+	l.cm.Update(f, nsent, nrecd, mode, rtt)
+}
+
+// BulkUpdate reports feedback for several flows with a single ioctl.
+func (l *Lib) BulkUpdate(updates []cm.UpdateArgs) {
+	l.stats.Ioctls++
+	l.cm.BulkUpdate(updates)
+}
+
+// Query reads the flow's network state (cm_query); one ioctl.
+func (l *Lib) Query(f cm.FlowID) (cm.Status, bool) {
+	l.stats.Ioctls++
+	return l.cm.Query(f)
+}
+
+// Thresh sets rate-callback thresholds (cm_thresh); one ioctl.
+func (l *Lib) Thresh(f cm.FlowID, down, up float64) {
+	l.stats.Ioctls++
+	l.cm.Thresh(f, down, up)
+}
+
+// SetWeight sets the flow's scheduling weight; one ioctl.
+func (l *Lib) SetWeight(f cm.FlowID, w float64) {
+	l.stats.Ioctls++
+	l.cm.SetWeight(f, w)
+}
+
+// DeliverSend implements cm.Dispatcher: the kernel marks the control socket's
+// write bit and records the flow as ready to send. The application callback
+// runs later, when the socket is drained.
+func (l *Lib) DeliverSend(f cm.FlowID, _ cm.SendCallback) {
+	l.pendingSend = append(l.pendingSend, f)
+	l.becameReady()
+}
+
+// DeliverUpdate implements cm.Dispatcher: the kernel marks the exception bit;
+// only the most recent status matters if several changes pile up (§2.2.2).
+func (l *Lib) DeliverUpdate(f cm.FlowID, st cm.Status, _ cm.UpdateCallback) {
+	l.pendingStatus[f] = st
+	l.becameReady()
+}
+
+func (l *Lib) becameReady() {
+	switch l.mode {
+	case ModeAuto:
+		if !l.dispatchScheduled {
+			l.dispatchScheduled = true
+			l.dispatchTimer.Reset(0)
+		}
+	case ModeSignal:
+		if l.signalHandler != nil && !l.signalPending {
+			l.signalPending = true
+			l.stats.Signals++
+			l.signalHandler()
+		}
+	case ModeManual:
+		// The application will poll Ready/Dispatch on its own schedule.
+	}
+}
+
+// Ready reports whether the control socket would select as readable: some
+// flow may send or some flow's network conditions changed. The check itself
+// is free (the descriptor is already in the application's select set).
+func (l *Lib) Ready() bool {
+	return len(l.pendingSend) > 0 || len(l.pendingStatus) > 0
+}
+
+// Dispatch drains the control socket and invokes application callbacks:
+// one select wake-up, one ioctl returning every flow that may send (batched),
+// and one ioctl per flow whose status changed. It returns the number of
+// callbacks delivered.
+func (l *Lib) Dispatch() int {
+	l.signalPending = false
+	if !l.Ready() {
+		return 0
+	}
+	l.stats.Dispatches++
+	l.stats.Selects++
+
+	delivered := 0
+
+	// Drain the send list with a single ioctl.
+	if len(l.pendingSend) > 0 {
+		l.stats.Ioctls++
+		batch := l.pendingSend
+		l.pendingSend = nil
+		if len(batch) > l.stats.MaxSendBatch {
+			l.stats.MaxSendBatch = len(batch)
+		}
+		for _, f := range batch {
+			cb := l.sendCBs[f]
+			if cb == nil {
+				continue
+			}
+			l.stats.SendCallbacks++
+			delivered++
+			cb(f)
+		}
+	}
+
+	// Status updates: one ioctl per flow, returning only the current state.
+	if len(l.pendingStatus) > 0 {
+		statuses := l.pendingStatus
+		l.pendingStatus = make(map[cm.FlowID]cm.Status)
+		for f, st := range statuses {
+			l.stats.Ioctls++
+			cb := l.updateCBs[f]
+			if cb == nil {
+				continue
+			}
+			l.stats.UpdateCallbacks++
+			delivered++
+			cb(f, st)
+		}
+	}
+
+	// Callbacks may have generated new notifications (for example a send
+	// callback that requested again and was granted immediately); in auto
+	// mode schedule another pass rather than recursing.
+	if l.Ready() {
+		l.becameReady()
+	}
+	return delivered
+}
+
+var _ cm.Dispatcher = (*Lib)(nil)

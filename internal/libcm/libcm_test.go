@@ -1,0 +1,284 @@
+package libcm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cm"
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+)
+
+func setup(t *testing.T, mode Mode) (*simtime.Scheduler, *cm.CM, *Lib) {
+	t.Helper()
+	s := simtime.NewScheduler()
+	c := cm.New(s, s, cm.WithMTU(1000))
+	l := New(c, s, mode)
+	return s, c, l
+}
+
+func addrs(port int) (netsim.Addr, netsim.Addr) {
+	return netsim.Addr{Host: "client", Port: 10000 + port}, netsim.Addr{Host: "server", Port: port}
+}
+
+func TestNewValidation(t *testing.T) {
+	s := simtime.NewScheduler()
+	c := cm.New(s, s)
+	for _, fn := range []func(){
+		func() { New(nil, s, ModeAuto) },
+		func() { New(c, nil, ModeAuto) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAutoModeDeliversSendCallbacksAsync(t *testing.T) {
+	s, c, l := setup(t, ModeAuto)
+	src, dst := addrs(80)
+	f := l.Open(netsim.ProtoUDP, src, dst)
+	if l.CM() != c {
+		t.Fatal("CM accessor wrong")
+	}
+	if l.MTU(f) != 1000 {
+		t.Fatalf("MTU = %d", l.MTU(f))
+	}
+
+	var calls []cm.FlowID
+	l.RegisterSend(f, func(id cm.FlowID) { calls = append(calls, id) })
+	l.Request(f)
+	// The grant is queued on the control socket; it must NOT have been
+	// delivered synchronously inside Request (that is the point of the
+	// user/kernel boundary).
+	if len(calls) != 0 {
+		t.Fatal("callback delivered synchronously; should wait for dispatch")
+	}
+	s.RunFor(time.Millisecond)
+	if len(calls) != 1 || calls[0] != f {
+		t.Fatalf("callback not delivered by auto dispatch: %v", calls)
+	}
+	st := l.Stats()
+	if st.Selects != 1 || st.SendCallbacks != 1 || st.Dispatches != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestManualModeRequiresExplicitDispatch(t *testing.T) {
+	s, _, l := setup(t, ModeManual)
+	src, dst := addrs(81)
+	f := l.Open(netsim.ProtoUDP, src, dst)
+	var calls int
+	l.RegisterSend(f, func(cm.FlowID) { calls++ })
+	l.Request(f)
+	s.RunFor(10 * time.Millisecond)
+	if calls != 0 {
+		t.Fatal("manual mode must not auto-dispatch")
+	}
+	if !l.Ready() {
+		t.Fatal("control socket should be readable")
+	}
+	if n := l.Dispatch(); n != 1 || calls != 1 {
+		t.Fatalf("Dispatch delivered %d callbacks, calls=%d", n, calls)
+	}
+	if l.Ready() {
+		t.Fatal("socket should be drained")
+	}
+	if l.Dispatch() != 0 {
+		t.Fatal("dispatch with nothing pending should deliver nothing")
+	}
+}
+
+func TestSignalModeInvokesHandlerOnce(t *testing.T) {
+	s, _, l := setup(t, ModeSignal)
+	src, dst := addrs(82)
+	f := l.Open(netsim.ProtoUDP, src, dst)
+	var signals int
+	var calls int
+	l.SetSignalHandler(func() { signals++ })
+	l.RegisterSend(f, func(cm.FlowID) { calls++ })
+	c := l.CM()
+
+	l.Request(f)
+	// Another notification while the first signal is still pending must not
+	// raise a second signal (the application has not drained yet).
+	c.Update(f, 1000, 1000, cm.NoLoss, 50*time.Millisecond)
+	s.RunFor(time.Millisecond)
+	if signals != 1 {
+		t.Fatalf("signals = %d, want 1", signals)
+	}
+	if calls != 0 {
+		t.Fatal("signal mode should not deliver callbacks until Dispatch")
+	}
+	l.Dispatch()
+	if calls != 1 {
+		t.Fatalf("calls after dispatch = %d", calls)
+	}
+	if l.Stats().Signals != 1 {
+		t.Fatalf("stats.Signals = %d", l.Stats().Signals)
+	}
+}
+
+func TestBatchedSendDrain(t *testing.T) {
+	// Several flows become ready before the application drains; a single
+	// ioctl must return all of them (reducing system calls, §2.2.2).
+	s, c, l := setup(t, ModeManual)
+	var order []cm.FlowID
+	var flows []cm.FlowID
+	for i := 0; i < 4; i++ {
+		// Separate destination hosts so each flow has its own macroflow and
+		// its own 1-MTU initial window; all four grants arrive at once.
+		src := netsim.Addr{Host: "client", Port: 10100 + i}
+		dst := netsim.Addr{Host: "server" + string(rune('a'+i)), Port: 100 + i}
+		f := l.Open(netsim.ProtoUDP, src, dst)
+		l.RegisterSend(f, func(id cm.FlowID) { order = append(order, id) })
+		flows = append(flows, f)
+	}
+	_ = c
+	l.BulkRequest(flows)
+	s.RunFor(time.Millisecond)
+	ioctlsBefore := l.Stats().Ioctls
+	n := l.Dispatch()
+	if n != 4 || len(order) != 4 {
+		t.Fatalf("dispatch delivered %d callbacks, want 4", n)
+	}
+	st := l.Stats()
+	if st.Ioctls-ioctlsBefore != 1 {
+		t.Fatalf("draining 4 send grants should cost exactly 1 ioctl, cost %d", st.Ioctls-ioctlsBefore)
+	}
+	if st.MaxSendBatch != 4 {
+		t.Fatalf("MaxSendBatch = %d, want 4", st.MaxSendBatch)
+	}
+	if st.Selects != 1 {
+		t.Fatalf("Selects = %d, want 1", st.Selects)
+	}
+}
+
+func TestStatusCoalescingKeepsOnlyLatest(t *testing.T) {
+	s, c, l := setup(t, ModeManual)
+	src, dst := addrs(90)
+	f := l.Open(netsim.ProtoUDP, src, dst)
+	var got []cm.Status
+	l.RegisterUpdate(f, func(_ cm.FlowID, st cm.Status) { got = append(got, st) })
+	l.Thresh(f, 1.0001, 1.0001) // effectively report every change
+
+	// Two rate changes arrive before the application drains; only the
+	// current status matters.
+	c.Update(f, 1000, 1000, cm.NoLoss, 100*time.Millisecond)
+	c.Update(f, 2000, 2000, cm.NoLoss, 100*time.Millisecond)
+	s.RunFor(time.Millisecond)
+	l.Dispatch()
+	if len(got) != 1 {
+		t.Fatalf("coalescing should deliver exactly one status, got %d", len(got))
+	}
+	latest, _ := c.Query(f)
+	if got[0].CWND != latest.CWND {
+		t.Fatalf("delivered stale status: %+v vs %+v", got[0], latest)
+	}
+	if l.Stats().UpdateCallbacks != 1 {
+		t.Fatalf("UpdateCallbacks = %d", l.Stats().UpdateCallbacks)
+	}
+}
+
+func TestThreshSuppressesSmallChangesThroughLib(t *testing.T) {
+	s, c, l := setup(t, ModeAuto)
+	src, dst := addrs(91)
+	f := l.Open(netsim.ProtoUDP, src, dst)
+	var updates int
+	l.RegisterUpdate(f, func(cm.FlowID, cm.Status) { updates++ })
+	l.Thresh(f, 4.0, 4.0)
+	c.Update(f, 1000, 1000, cm.NoLoss, 100*time.Millisecond)
+	s.RunFor(time.Millisecond)
+	first := updates
+	if first != 1 {
+		t.Fatalf("baseline report missing, updates=%d", first)
+	}
+	// A modest window change does not cross the 4x threshold.
+	c.Update(f, 1000, 1000, cm.NoLoss, 100*time.Millisecond)
+	s.RunFor(time.Millisecond)
+	if updates != first {
+		t.Fatal("sub-threshold change should not reach the application")
+	}
+}
+
+func TestLibUpdateNotifyQueryCountIoctls(t *testing.T) {
+	s, c, l := setup(t, ModeManual)
+	src, dst := addrs(92)
+	f := l.Open(netsim.ProtoUDP, src, dst)
+	l.Notify(f, 500)
+	l.Update(f, 500, 500, cm.NoLoss, 10*time.Millisecond)
+	if _, ok := l.Query(f); !ok {
+		t.Fatal("Query failed")
+	}
+	l.SetWeight(f, 2)
+	l.BulkUpdate([]cm.UpdateArgs{{Flow: f, Sent: 100, Received: 100}})
+	st := l.Stats()
+	if st.Ioctls != 5 {
+		t.Fatalf("Ioctls = %d, want 5 (notify, update, query, setweight, bulkupdate)", st.Ioctls)
+	}
+	if c.MacroflowOf(f).Outstanding() != 0 {
+		t.Fatal("feedback should have cleared outstanding bytes")
+	}
+	_ = s
+}
+
+func TestCloseCleansUpState(t *testing.T) {
+	s, c, l := setup(t, ModeManual)
+	src, dst := addrs(93)
+	f := l.Open(netsim.ProtoUDP, src, dst)
+	l.RegisterSend(f, func(cm.FlowID) {})
+	l.Request(f)
+	s.RunFor(time.Millisecond)
+	l.Close(f)
+	if c.FlowCount() != 0 {
+		t.Fatal("flow should be closed in the CM")
+	}
+	// Draining after close must not call back into a dead flow.
+	if l.Dispatch() != 0 {
+		t.Fatal("no callbacks should be delivered for closed flows")
+	}
+}
+
+func TestAutoDispatchHandlesCallbackGeneratedWork(t *testing.T) {
+	// A send callback that immediately requests again (and is granted
+	// because the window is open) must trigger another dispatch rather than
+	// being lost or recursing.
+	s, c, l := setup(t, ModeAuto)
+	src, dst := addrs(94)
+	f := l.Open(netsim.ProtoUDP, src, dst)
+	sends := 0
+	l.RegisterSend(f, func(id cm.FlowID) {
+		sends++
+		if sends < 3 {
+			// Decline the grant (so the window stays open) and ask again.
+			l.Notify(id, 0)
+			l.Request(id)
+		}
+	})
+	l.Request(f)
+	s.RunFor(10 * time.Millisecond)
+	if sends != 3 {
+		t.Fatalf("sends = %d, want 3", sends)
+	}
+	if l.Stats().Dispatches < 2 {
+		t.Fatalf("follow-up work should be handled by additional dispatches, got %d", l.Stats().Dispatches)
+	}
+	_ = c
+}
+
+func TestOpenCostsAccounting(t *testing.T) {
+	_, _, l := setup(t, ModeManual)
+	src, dst := addrs(95)
+	f := l.Open(netsim.ProtoUDP, src, dst)
+	l.Close(f)
+	st := l.Stats()
+	// One syscall for the control socket at New, one per open, one per close.
+	if st.Syscalls != 3 {
+		t.Fatalf("Syscalls = %d, want 3", st.Syscalls)
+	}
+}

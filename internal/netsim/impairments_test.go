@@ -1,0 +1,108 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+func TestLinkReorderingDeliversAllPacketsOutOfOrder(t *testing.T) {
+	s := simtime.NewScheduler()
+	dst := &collector{sched: s}
+	l := NewLink(s, LinkConfig{
+		Bandwidth:    10 * Mbps,
+		Delay:        time.Millisecond,
+		QueuePackets: 1000,
+		ReorderRate:  0.3,
+		ReorderDelay: 5 * time.Millisecond,
+		Seed:         13,
+	}, dst)
+	const n = 200
+	for i := 0; i < n; i++ {
+		p := mkpkt(1000)
+		p.Payload = i // tag with send order
+		l.Send(p)
+	}
+	s.Run()
+	if len(dst.pkts) != n {
+		t.Fatalf("delivered %d packets, want %d (reordering must not lose packets)", len(dst.pkts), n)
+	}
+	if l.Stats().Reordered == 0 {
+		t.Fatal("no packets were reordered at a 30% reorder rate")
+	}
+	inversions := 0
+	for i := 1; i < len(dst.pkts); i++ {
+		if dst.pkts[i].Payload.(int) < dst.pkts[i-1].Payload.(int) {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Fatal("reordering should produce at least one out-of-order delivery")
+	}
+}
+
+func TestLinkReorderingDefaultDelay(t *testing.T) {
+	s := simtime.NewScheduler()
+	dst := &collector{sched: s}
+	l := NewLink(s, LinkConfig{Bandwidth: 10 * Mbps, ReorderRate: 1.0, Seed: 5, QueuePackets: 10}, dst)
+	l.Send(mkpkt(1000))
+	s.Run()
+	if len(dst.pkts) != 1 {
+		t.Fatal("packet lost")
+	}
+	if l.Stats().Reordered != 1 {
+		t.Fatal("reorder not counted")
+	}
+}
+
+func TestLinkDuplicationDeliversExtraCopies(t *testing.T) {
+	s := simtime.NewScheduler()
+	dst := &collector{sched: s}
+	l := NewLink(s, LinkConfig{
+		Bandwidth:     10 * Mbps,
+		QueuePackets:  1000,
+		DuplicateRate: 0.5,
+		Seed:          17,
+	}, dst)
+	const n = 200
+	for i := 0; i < n; i++ {
+		l.Send(mkpkt(500))
+	}
+	s.Run()
+	st := l.Stats()
+	if st.Duplicated == 0 {
+		t.Fatal("no packets were duplicated at a 50% duplication rate")
+	}
+	if len(dst.pkts) != n+st.Duplicated {
+		t.Fatalf("delivered %d packets, want %d originals + %d duplicates", len(dst.pkts), n, st.Duplicated)
+	}
+}
+
+// Property: with reordering and duplication (but no loss), at least every
+// original packet is delivered, and the delivered count equals originals plus
+// the recorded duplicates.
+func TestPropertyImpairedLinkNeverLosesPackets(t *testing.T) {
+	f := func(n uint8, reorderTenths, dupTenths uint8, seed int64) bool {
+		count := int(n%100) + 1
+		s := simtime.NewScheduler()
+		dst := &collector{}
+		l := NewLink(s, LinkConfig{
+			Bandwidth:     10 * Mbps,
+			Delay:         time.Millisecond,
+			QueuePackets:  count + 1,
+			ReorderRate:   float64(reorderTenths%10) / 10,
+			DuplicateRate: float64(dupTenths%10) / 10,
+			Seed:          seed,
+		}, dst)
+		for i := 0; i < count; i++ {
+			l.Send(mkpkt(500))
+		}
+		s.Run()
+		return len(dst.pkts) == count+l.Stats().Duplicated
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,285 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// Bandwidth expresses link capacity in bits per second.
+type Bandwidth float64
+
+// Convenience bandwidth units.
+const (
+	Kbps Bandwidth = 1e3
+	Mbps Bandwidth = 1e6
+	Gbps Bandwidth = 1e9
+)
+
+// BytesPerSecond converts the bandwidth to bytes per second.
+func (b Bandwidth) BytesPerSecond() float64 { return float64(b) / 8 }
+
+// String formats the bandwidth in a human-readable unit.
+func (b Bandwidth) String() string {
+	switch {
+	case b >= Gbps:
+		return fmt.Sprintf("%.3gGbps", float64(b)/float64(Gbps))
+	case b >= Mbps:
+		return fmt.Sprintf("%.3gMbps", float64(b)/float64(Mbps))
+	case b >= Kbps:
+		return fmt.Sprintf("%.3gKbps", float64(b)/float64(Kbps))
+	default:
+		return fmt.Sprintf("%.3gbps", float64(b))
+	}
+}
+
+// TransmitTime returns the serialisation delay of n bytes at this bandwidth.
+func (b Bandwidth) TransmitTime(n int) time.Duration {
+	if b <= 0 {
+		return 0
+	}
+	return simtime.FromSeconds(float64(n) * 8 / float64(b))
+}
+
+// LinkConfig describes one unidirectional shaped channel — the simulator's
+// equivalent of a Dummynet pipe on the paper's testbed.
+type LinkConfig struct {
+	// Name is used in diagnostics and statistics.
+	Name string
+	// Bandwidth is the serialisation rate. Zero means infinitely fast.
+	Bandwidth Bandwidth
+	// Delay is the one-way propagation delay added after serialisation.
+	Delay time.Duration
+	// QueuePackets / QueueBytes bound the drop-tail buffer in front of the
+	// link. If both are zero a default of 100 packets is used.
+	QueuePackets int
+	QueueBytes   int
+	// LossRate is an independent Bernoulli drop probability applied to each
+	// packet before queueing — the random loss knob used for Figure 3.
+	LossRate float64
+	// ReorderRate is the probability that a packet is held back and
+	// delivered after an extra ReorderDelay, arriving behind packets sent
+	// after it. Best-effort IP may reorder; the transports must cope.
+	ReorderRate float64
+	// ReorderDelay is the extra delay applied to reordered packets
+	// (default: four packet transmission times at the link rate).
+	ReorderDelay time.Duration
+	// DuplicateRate is the probability that a delivered packet is delivered
+	// twice, modelling duplication in the network.
+	DuplicateRate float64
+	// ECNThresholdPackets enables CE marking of ECN-capable packets when the
+	// queue depth reaches the threshold.
+	ECNThresholdPackets int
+	// Seed seeds the link's private random source so loss patterns are
+	// reproducible. A zero seed uses 1.
+	Seed int64
+}
+
+// LinkStats are cumulative counters for a link.
+type LinkStats struct {
+	SentPackets     int
+	SentBytes       int64
+	RandomDrops     int
+	QueueDrops      int
+	Reordered       int
+	Duplicated      int
+	DeliveredAt     time.Duration // virtual time of the most recent delivery
+	BusyTime        time.Duration // cumulative serialisation time
+	DeliveredOctets int64
+}
+
+// Link is a unidirectional channel with finite bandwidth, propagation delay, a
+// drop-tail queue and optional random loss. Packets presented with Send are
+// queued, serialised in FIFO order at the link rate, and delivered to the
+// destination Receiver after the propagation delay.
+type Link struct {
+	cfg   LinkConfig
+	sched *simtime.Scheduler
+	dst   Receiver
+	queue *Queue
+	rng   *rand.Rand
+
+	busy  bool
+	stats LinkStats
+
+	// tap, when non-nil, observes every packet that is delivered (after
+	// loss and queueing). Experiments use taps to trace rates.
+	tap func(pkt *Packet)
+	// dropTap observes dropped packets (random or queue drops).
+	dropTap func(pkt *Packet, reason string)
+}
+
+// NewLink creates a link delivering to dst. The destination may be changed
+// later with SetDestination (used while wiring up topologies).
+func NewLink(sched *simtime.Scheduler, cfg LinkConfig, dst Receiver) *Link {
+	if sched == nil {
+		panic("netsim: NewLink requires a scheduler")
+	}
+	qp, qb := cfg.QueuePackets, cfg.QueueBytes
+	if qp == 0 && qb == 0 {
+		qp = 100
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	q := NewQueue(qp, qb, DropTail)
+	if cfg.ECNThresholdPackets > 0 {
+		q.SetECNThreshold(cfg.ECNThresholdPackets)
+	}
+	return &Link{
+		cfg:   cfg,
+		sched: sched,
+		dst:   dst,
+		queue: q,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// SetDestination points the link at a new receiver.
+func (l *Link) SetDestination(dst Receiver) { l.dst = dst }
+
+// SetTap installs an observer invoked for every delivered packet.
+func (l *Link) SetTap(fn func(pkt *Packet)) { l.tap = fn }
+
+// SetDropTap installs an observer invoked for every dropped packet with the
+// reason ("loss" for random loss, "queue" for buffer overflow).
+func (l *Link) SetDropTap(fn func(pkt *Packet, reason string)) { l.dropTap = fn }
+
+// Config returns the link configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// Stats returns a copy of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// QueueStats returns the counters of the link's buffer.
+func (l *Link) QueueStats() QueueStats { return l.queue.Stats() }
+
+// QueueLen returns the instantaneous queue depth in packets.
+func (l *Link) QueueLen() int { return l.queue.Len() }
+
+// Utilization returns the fraction of virtual time the link spent
+// serialising packets, measured against the elapsed time on the scheduler.
+func (l *Link) Utilization() float64 {
+	now := l.sched.Now()
+	if now <= 0 {
+		return 0
+	}
+	return float64(l.stats.BusyTime) / float64(now)
+}
+
+// Send presents a packet to the link. It applies random loss, enqueues the
+// packet and starts the transmitter if idle. It returns false if the packet
+// was dropped immediately (random loss or queue overflow).
+func (l *Link) Send(pkt *Packet) bool {
+	if pkt == nil {
+		panic("netsim: Send(nil)")
+	}
+	if l.cfg.LossRate > 0 && l.rng.Float64() < l.cfg.LossRate {
+		l.stats.RandomDrops++
+		if l.dropTap != nil {
+			l.dropTap(pkt, "loss")
+		}
+		return false
+	}
+	pkt.Enqueued = l.sched.Now()
+	if victim := l.queue.Enqueue(pkt); victim != nil {
+		l.stats.QueueDrops++
+		if l.dropTap != nil {
+			l.dropTap(victim, "queue")
+		}
+		if victim == pkt {
+			return false
+		}
+	}
+	if !l.busy {
+		l.startTransmit()
+	}
+	return true
+}
+
+// startTransmit serialises the head-of-line packet and schedules its delivery
+// and the next transmission.
+func (l *Link) startTransmit() {
+	pkt := l.queue.Dequeue()
+	if pkt == nil {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	txTime := l.cfg.Bandwidth.TransmitTime(pkt.Size)
+	l.stats.BusyTime += txTime
+	// Delivery happens after serialisation plus propagation; the link is
+	// free to serialise the next packet as soon as this one has left.
+	l.sched.After(txTime, func() {
+		l.deliver(pkt)
+		l.startTransmit()
+	})
+}
+
+func (l *Link) deliver(pkt *Packet) {
+	l.stats.SentPackets++
+	l.stats.SentBytes += int64(pkt.Size)
+	delay := l.cfg.Delay
+	if l.cfg.ReorderRate > 0 && l.rng.Float64() < l.cfg.ReorderRate {
+		extra := l.cfg.ReorderDelay
+		if extra <= 0 {
+			extra = 4 * l.cfg.Bandwidth.TransmitTime(pkt.Size)
+		}
+		if extra <= 0 {
+			extra = time.Millisecond
+		}
+		delay += extra
+		l.stats.Reordered++
+	}
+	duplicate := l.cfg.DuplicateRate > 0 && l.rng.Float64() < l.cfg.DuplicateRate
+	l.sched.After(delay, func() {
+		l.handUp(pkt)
+		if duplicate {
+			l.stats.Duplicated++
+			l.handUp(pkt.Clone())
+		}
+	})
+}
+
+func (l *Link) handUp(pkt *Packet) {
+	l.stats.DeliveredAt = l.sched.Now()
+	l.stats.DeliveredOctets += int64(pkt.Size)
+	if l.tap != nil {
+		l.tap(pkt)
+	}
+	if l.dst != nil {
+		l.dst.Receive(pkt)
+	}
+}
+
+// Duplex is a pair of links forming a bidirectional channel between two
+// receivers, the common case when wiring two hosts together.
+type Duplex struct {
+	Forward *Link
+	Reverse *Link
+}
+
+// NewDuplex builds a bidirectional channel using the same configuration for
+// both directions (destination receivers are set separately with Connect).
+func NewDuplex(sched *simtime.Scheduler, cfg LinkConfig) *Duplex {
+	fcfg := cfg
+	rcfg := cfg
+	fcfg.Name = cfg.Name + "-fwd"
+	rcfg.Name = cfg.Name + "-rev"
+	if cfg.Seed != 0 {
+		rcfg.Seed = cfg.Seed + 1
+	}
+	return &Duplex{
+		Forward: NewLink(sched, fcfg, nil),
+		Reverse: NewLink(sched, rcfg, nil),
+	}
+}
+
+// Connect points the forward link at b and the reverse link at a.
+func (d *Duplex) Connect(a, b Receiver) {
+	d.Forward.SetDestination(b)
+	d.Reverse.SetDestination(a)
+}

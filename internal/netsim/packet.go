@@ -1,0 +1,151 @@
+// Package netsim is the packet-level network substrate for the Congestion
+// Manager reproduction. It models what the paper's testbed provided in
+// hardware: hosts connected by links with configurable bandwidth, propagation
+// delay, drop-tail router queues, random (Dummynet-style) loss, and optional
+// ECN marking.
+//
+// All components are driven by a simtime.Scheduler; nothing in this package
+// uses wall-clock time, so experiments are deterministic.
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Protocol identifies the transport protocol of a packet, mirroring the IP
+// protocol field that the paper's IP-output hook uses to locate the CM flow.
+type Protocol uint8
+
+// Transport protocols used by the reproduction.
+const (
+	ProtoTCP Protocol = 6
+	ProtoUDP Protocol = 17
+)
+
+// String returns the conventional protocol name.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+// Addr is a transport endpoint address: a host name stands in for an IP
+// address, plus a transport port. The CM groups flows into macroflows by
+// destination host, exactly as the paper's default per-destination
+// aggregation does.
+type Addr struct {
+	Host string
+	Port int
+}
+
+// String formats the address as host:port.
+func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.Host, a.Port) }
+
+// FlowKey identifies a unidirectional transport flow by its 5-tuple minus the
+// addresses' order: protocol, source and destination. It is the key the IP
+// output routine hands to the CM to find the flow to charge (paper §2.1.3).
+type FlowKey struct {
+	Proto Protocol
+	Src   Addr
+	Dst   Addr
+}
+
+// String formats the flow key for diagnostics.
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%s %s->%s", k.Proto, k.Src, k.Dst)
+}
+
+// Reverse returns the key of the reverse-direction flow.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{Proto: k.Proto, Src: k.Dst, Dst: k.Src}
+}
+
+// Packet is a network-layer datagram. Size is the on-the-wire size in bytes
+// (headers plus payload) and is what links serialise and queues count.
+// Payload carries the transport-layer unit (a TCP segment, a UDP datagram)
+// and is opaque to the network.
+type Packet struct {
+	Proto Protocol
+	Src   Addr
+	Dst   Addr
+	// Size is the total wire size in bytes, including transport and IP
+	// headers. Links use it for serialisation delay and queues for
+	// occupancy accounting.
+	Size int
+	// Payload is the transport-layer content (e.g. *tcp.Segment).
+	Payload any
+
+	// ECT marks the packet as ECN-capable transport (the sender supports
+	// RFC 2481-style marking, which the paper's cm_update can report).
+	ECT bool
+	// CE is the congestion-experienced mark set by a router queue instead
+	// of dropping when ECN is enabled.
+	CE bool
+
+	// Control marks transport control packets (pure TCP ACKs, application
+	// feedback packets) that are not data transmissions of a CM flow; the IP
+	// output hook does not charge them to a macroflow.
+	Control bool
+
+	// ChargeBytes is the number of bytes the Congestion Manager should
+	// charge for this transmission (the transport payload). Zero means
+	// "charge the full wire size". Keeping CM charging in payload bytes
+	// makes cm_notify consistent with the payload-byte feedback clients
+	// report through cm_update.
+	ChargeBytes int
+
+	// Enqueued records when the packet entered the first queue; used for
+	// queueing-delay statistics.
+	Enqueued time.Duration
+}
+
+// Key returns the packet's flow key.
+func (p *Packet) Key() FlowKey {
+	return FlowKey{Proto: p.Proto, Src: p.Src, Dst: p.Dst}
+}
+
+// Clone returns a shallow copy of the packet. Links never modify payloads, so
+// a shallow copy is sufficient for duplication scenarios.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	return &q
+}
+
+// String formats a short description of the packet.
+func (p *Packet) String() string {
+	return fmt.Sprintf("%s %s->%s %dB", p.Proto, p.Src, p.Dst, p.Size)
+}
+
+// Receiver consumes packets delivered by a link. Hosts and protocol demuxers
+// implement it.
+type Receiver interface {
+	Receive(pkt *Packet)
+}
+
+// ReceiverFunc adapts a function to the Receiver interface.
+type ReceiverFunc func(pkt *Packet)
+
+// Receive implements Receiver.
+func (f ReceiverFunc) Receive(pkt *Packet) { f(pkt) }
+
+// Sizes of protocol headers used when computing wire sizes. These follow the
+// conventional IPv4 sizes the paper's testbed would have used.
+const (
+	IPHeaderSize  = 20
+	TCPHeaderSize = 20
+	UDPHeaderSize = 8
+	// TCPTimestampOption is the extra header cost of RFC 1323 timestamps,
+	// which the paper's TCP uses for RTT sampling.
+	TCPTimestampOption = 12
+	// DefaultMTU is the Ethernet MTU of the paper's testbed.
+	DefaultMTU = 1500
+	// DefaultMSS is the TCP maximum segment size on an Ethernet path with
+	// timestamps enabled.
+	DefaultMSS = DefaultMTU - IPHeaderSize - TCPHeaderSize - TCPTimestampOption
+)

@@ -1,0 +1,179 @@
+package netsim
+
+import "fmt"
+
+// DropPolicy selects which packet a full queue discards.
+type DropPolicy int
+
+const (
+	// DropTail discards the arriving packet when the queue is full. This is
+	// the de-facto standard for router buffers that the paper calls out.
+	DropTail DropPolicy = iota
+	// DropHead discards the oldest queued packet to make room for the
+	// arriving one. The paper's adaptive vat application uses
+	// drop-from-head behaviour in its application-level buffer.
+	DropHead
+)
+
+// String names the drop policy.
+func (p DropPolicy) String() string {
+	switch p {
+	case DropTail:
+		return "drop-tail"
+	case DropHead:
+		return "drop-head"
+	default:
+		return fmt.Sprintf("drop-policy(%d)", int(p))
+	}
+}
+
+// QueueStats are cumulative counters maintained by a Queue.
+type QueueStats struct {
+	EnqueuedPackets int
+	EnqueuedBytes   int64
+	DroppedPackets  int
+	DroppedBytes    int64
+	DequeuedPackets int
+	DequeuedBytes   int64
+	ECNMarked       int
+	MaxDepthPackets int
+	MaxDepthBytes   int
+}
+
+// Queue is a finite FIFO packet buffer with configurable limits and drop
+// policy, standing in for a router or NIC transmit buffer.
+//
+// Limits may be expressed in packets, bytes, or both; a zero limit means
+// "unlimited" in that dimension, but at least one limit must be set.
+type Queue struct {
+	limitPackets int
+	limitBytes   int
+	policy       DropPolicy
+
+	// ECN configuration: when ECNThresholdPackets > 0 and an arriving
+	// ECN-capable packet finds the queue at or above the threshold, the
+	// packet is marked CE instead of being dropped on overflow.
+	ecnThresholdPackets int
+
+	pkts  []*Packet
+	bytes int
+	stats QueueStats
+}
+
+// NewQueue returns a queue limited to limitPackets packets and limitBytes
+// bytes (zero disables the respective limit). It panics if both limits are
+// zero or either is negative.
+func NewQueue(limitPackets, limitBytes int, policy DropPolicy) *Queue {
+	if limitPackets < 0 || limitBytes < 0 {
+		panic("netsim: negative queue limit")
+	}
+	if limitPackets == 0 && limitBytes == 0 {
+		panic("netsim: queue needs at least one limit")
+	}
+	return &Queue{limitPackets: limitPackets, limitBytes: limitBytes, policy: policy}
+}
+
+// SetECNThreshold enables ECN marking: ECN-capable packets arriving when the
+// queue holds at least thresholdPackets packets are marked CE. A zero
+// threshold disables marking.
+func (q *Queue) SetECNThreshold(thresholdPackets int) {
+	q.ecnThresholdPackets = thresholdPackets
+}
+
+// Len returns the number of queued packets.
+func (q *Queue) Len() int { return len(q.pkts) }
+
+// Bytes returns the number of queued bytes.
+func (q *Queue) Bytes() int { return q.bytes }
+
+// Stats returns a copy of the cumulative counters.
+func (q *Queue) Stats() QueueStats { return q.stats }
+
+// Policy returns the queue's drop policy.
+func (q *Queue) Policy() DropPolicy { return q.policy }
+
+func (q *Queue) wouldOverflow(p *Packet) bool {
+	if q.limitPackets > 0 && len(q.pkts)+1 > q.limitPackets {
+		return true
+	}
+	if q.limitBytes > 0 && q.bytes+p.Size > q.limitBytes {
+		return true
+	}
+	return false
+}
+
+// Enqueue appends the packet, applying the drop policy on overflow. It
+// returns the dropped packet (which may be the argument itself under
+// drop-tail, or an older packet under drop-head) or nil if nothing was
+// dropped.
+func (q *Queue) Enqueue(p *Packet) (dropped *Packet) {
+	if p == nil {
+		panic("netsim: Enqueue(nil)")
+	}
+	// ECN marking happens on arrival based on current occupancy, before any
+	// drop decision, so marked packets still convey congestion when the
+	// queue later drains.
+	if q.ecnThresholdPackets > 0 && p.ECT && len(q.pkts) >= q.ecnThresholdPackets {
+		if !p.CE {
+			p.CE = true
+			q.stats.ECNMarked++
+		}
+	}
+	for q.wouldOverflow(p) {
+		switch q.policy {
+		case DropHead:
+			if len(q.pkts) == 0 {
+				// The arriving packet alone exceeds the byte limit.
+				q.recordDrop(p)
+				return p
+			}
+			victim := q.pkts[0]
+			q.pkts = q.pkts[1:]
+			q.bytes -= victim.Size
+			q.recordDrop(victim)
+			dropped = victim
+		default: // DropTail
+			q.recordDrop(p)
+			return p
+		}
+	}
+	q.pkts = append(q.pkts, p)
+	q.bytes += p.Size
+	q.stats.EnqueuedPackets++
+	q.stats.EnqueuedBytes += int64(p.Size)
+	if len(q.pkts) > q.stats.MaxDepthPackets {
+		q.stats.MaxDepthPackets = len(q.pkts)
+	}
+	if q.bytes > q.stats.MaxDepthBytes {
+		q.stats.MaxDepthBytes = q.bytes
+	}
+	return dropped
+}
+
+func (q *Queue) recordDrop(p *Packet) {
+	q.stats.DroppedPackets++
+	q.stats.DroppedBytes += int64(p.Size)
+}
+
+// Dequeue removes and returns the oldest packet, or nil if the queue is
+// empty.
+func (q *Queue) Dequeue() *Packet {
+	if len(q.pkts) == 0 {
+		return nil
+	}
+	p := q.pkts[0]
+	q.pkts[0] = nil
+	q.pkts = q.pkts[1:]
+	q.bytes -= p.Size
+	q.stats.DequeuedPackets++
+	q.stats.DequeuedBytes += int64(p.Size)
+	return p
+}
+
+// Peek returns the oldest packet without removing it, or nil if empty.
+func (q *Queue) Peek() *Packet {
+	if len(q.pkts) == 0 {
+		return nil
+	}
+	return q.pkts[0]
+}

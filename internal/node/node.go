@@ -1,0 +1,253 @@
+// Package node models end hosts and their IP layer. A Host demultiplexes
+// received packets to bound transport endpoints and, on the send side,
+// implements the paper's modified IP output routine: every transmitted packet
+// is reported to the Congestion Manager through a TransmitNotifier so the CM
+// can charge the bytes to the right macroflow (cm_notify, paper §2.1.3).
+package node
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+)
+
+// TransmitNotifier is the hook the IP output routine calls on every
+// transmission. The Congestion Manager implements it; hosts without a CM run
+// with a nil notifier (the baseline TCP/Linux configuration).
+type TransmitNotifier interface {
+	NotifyTransmit(key netsim.FlowKey, nbytes int)
+}
+
+// Handler consumes packets demultiplexed to a bound endpoint.
+type Handler interface {
+	Handle(pkt *netsim.Packet)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(pkt *netsim.Packet)
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(pkt *netsim.Packet) { f(pkt) }
+
+type bindingKey struct {
+	proto      netsim.Protocol
+	localPort  int
+	remoteHost string
+	remotePort int
+}
+
+// HostStats are cumulative counters for a host's IP layer.
+type HostStats struct {
+	SentPackets      int
+	SentBytes        int64
+	ReceivedPackets  int
+	ReceivedBytes    int64
+	NoRouteDrops     int
+	NoListenerDrops  int
+	LastReceived     time.Duration
+	NotifierUpcalled int
+}
+
+// Host is a simulated end system with an IP layer, a routing table keyed by
+// destination host, and transport-endpoint demultiplexing.
+type Host struct {
+	name     string
+	sched    *simtime.Scheduler
+	routes   map[string]*netsim.Link
+	def      *netsim.Link
+	bindings map[bindingKey]Handler
+	notifier TransmitNotifier
+	stats    HostStats
+	nextPort int
+}
+
+// NewHost creates a host with the given name attached to the scheduler.
+func NewHost(name string, sched *simtime.Scheduler) *Host {
+	if sched == nil {
+		panic("node: NewHost requires a scheduler")
+	}
+	if name == "" {
+		panic("node: NewHost requires a name")
+	}
+	return &Host{
+		name:     name,
+		sched:    sched,
+		routes:   make(map[string]*netsim.Link),
+		bindings: make(map[bindingKey]Handler),
+		nextPort: 10000,
+	}
+}
+
+// Name returns the host name (its "IP address" in the simulation).
+func (h *Host) Name() string { return h.name }
+
+// Clock returns the host's scheduler, which also serves as its clock and
+// timer factory.
+func (h *Host) Clock() *simtime.Scheduler { return h.sched }
+
+// Stats returns a copy of the host's IP-layer counters.
+func (h *Host) Stats() HostStats { return h.stats }
+
+// SetTransmitNotifier installs the CM hook called from the IP output routine.
+func (h *Host) SetTransmitNotifier(n TransmitNotifier) { h.notifier = n }
+
+// AddRoute routes packets destined to dstHost over link.
+func (h *Host) AddRoute(dstHost string, link *netsim.Link) {
+	if link == nil {
+		panic("node: AddRoute with nil link")
+	}
+	h.routes[dstHost] = link
+}
+
+// SetDefaultRoute sets the link used for destinations with no explicit route.
+func (h *Host) SetDefaultRoute(link *netsim.Link) { h.def = link }
+
+// RouteTo returns the link used to reach dstHost, or nil if unroutable.
+func (h *Host) RouteTo(dstHost string) *netsim.Link {
+	if l, ok := h.routes[dstHost]; ok {
+		return l
+	}
+	return h.def
+}
+
+// AllocPort returns a fresh ephemeral port number.
+func (h *Host) AllocPort() int {
+	h.nextPort++
+	return h.nextPort
+}
+
+// Bind registers a listener handler for (proto, localPort) accepting packets
+// from any remote endpoint. It returns an error if the port is taken.
+func (h *Host) Bind(proto netsim.Protocol, localPort int, handler Handler) error {
+	return h.bind(bindingKey{proto: proto, localPort: localPort}, handler)
+}
+
+// BindConn registers a connected handler for (proto, localPort, remote). A
+// connected binding takes precedence over a wildcard Bind on the same port,
+// which is how multiple TCP connections share a server port.
+func (h *Host) BindConn(proto netsim.Protocol, localPort int, remote netsim.Addr, handler Handler) error {
+	return h.bind(bindingKey{proto: proto, localPort: localPort, remoteHost: remote.Host, remotePort: remote.Port}, handler)
+}
+
+func (h *Host) bind(k bindingKey, handler Handler) error {
+	if handler == nil {
+		return fmt.Errorf("node: nil handler for %v", k)
+	}
+	if _, ok := h.bindings[k]; ok {
+		return fmt.Errorf("node: %s port %d already bound on %s", k.proto, k.localPort, h.name)
+	}
+	h.bindings[k] = handler
+	return nil
+}
+
+// Unbind removes a wildcard binding.
+func (h *Host) Unbind(proto netsim.Protocol, localPort int) {
+	delete(h.bindings, bindingKey{proto: proto, localPort: localPort})
+}
+
+// UnbindConn removes a connected binding.
+func (h *Host) UnbindConn(proto netsim.Protocol, localPort int, remote netsim.Addr) {
+	delete(h.bindings, bindingKey{proto: proto, localPort: localPort, remoteHost: remote.Host, remotePort: remote.Port})
+}
+
+// Output is the IP output routine. It invokes the CM transmit notifier (if
+// installed), looks up the route to the packet's destination and hands the
+// packet to the link. It returns false if the packet could not be sent
+// (no route) or was dropped by the link on ingress.
+func (h *Host) Output(pkt *netsim.Packet) bool {
+	if pkt == nil {
+		panic("node: Output(nil)")
+	}
+	if pkt.Src.Host == "" {
+		pkt.Src.Host = h.name
+	}
+	link := h.RouteTo(pkt.Dst.Host)
+	if link == nil {
+		h.stats.NoRouteDrops++
+		return false
+	}
+	// The paper modifies ip_output to call cm_notify(flowid, nsent) on each
+	// transmission; the notifier performs the flow lookup from the packet's
+	// flow parameters. Transport control packets (pure ACKs, feedback) are
+	// not data transmissions and are not charged.
+	if h.notifier != nil && !pkt.Control {
+		h.stats.NotifierUpcalled++
+		charge := pkt.ChargeBytes
+		if charge == 0 {
+			charge = pkt.Size
+		}
+		h.notifier.NotifyTransmit(pkt.Key(), charge)
+	}
+	h.stats.SentPackets++
+	h.stats.SentBytes += int64(pkt.Size)
+	return link.Send(pkt)
+}
+
+// Receive implements netsim.Receiver: it demultiplexes an arriving packet to
+// the most specific binding (connected first, then wildcard listener).
+func (h *Host) Receive(pkt *netsim.Packet) {
+	h.stats.ReceivedPackets++
+	h.stats.ReceivedBytes += int64(pkt.Size)
+	h.stats.LastReceived = h.sched.Now()
+	k := bindingKey{proto: pkt.Proto, localPort: pkt.Dst.Port, remoteHost: pkt.Src.Host, remotePort: pkt.Src.Port}
+	if hd, ok := h.bindings[k]; ok {
+		hd.Handle(pkt)
+		return
+	}
+	k = bindingKey{proto: pkt.Proto, localPort: pkt.Dst.Port}
+	if hd, ok := h.bindings[k]; ok {
+		hd.Handle(pkt)
+		return
+	}
+	h.stats.NoListenerDrops++
+}
+
+var _ netsim.Receiver = (*Host)(nil)
+
+// Network is a convenience container that creates hosts and wires them
+// together with duplex links, maintaining routing tables.
+type Network struct {
+	sched *simtime.Scheduler
+	hosts map[string]*Host
+}
+
+// NewNetwork returns an empty topology bound to the scheduler.
+func NewNetwork(sched *simtime.Scheduler) *Network {
+	if sched == nil {
+		panic("node: NewNetwork requires a scheduler")
+	}
+	return &Network{sched: sched, hosts: make(map[string]*Host)}
+}
+
+// Scheduler returns the shared scheduler.
+func (n *Network) Scheduler() *simtime.Scheduler { return n.sched }
+
+// Host returns the named host, creating it on first use.
+func (n *Network) Host(name string) *Host {
+	if h, ok := n.hosts[name]; ok {
+		return h
+	}
+	h := NewHost(name, n.sched)
+	n.hosts[name] = h
+	return h
+}
+
+// Hosts returns the number of hosts created so far.
+func (n *Network) Hosts() int { return len(n.hosts) }
+
+// ConnectDuplex joins hosts a and b with a duplex link built from cfg and
+// installs routes in both directions. It returns the duplex so experiments
+// can inspect per-direction statistics or install taps.
+func (n *Network) ConnectDuplex(a, b string, cfg netsim.LinkConfig) *netsim.Duplex {
+	ha, hb := n.Host(a), n.Host(b)
+	if cfg.Name == "" {
+		cfg.Name = a + "<->" + b
+	}
+	d := netsim.NewDuplex(n.sched, cfg)
+	d.Connect(ha, hb)
+	ha.AddRoute(b, d.Forward)
+	hb.AddRoute(a, d.Reverse)
+	return d
+}

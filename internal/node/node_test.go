@@ -1,0 +1,280 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+)
+
+func lanCfg() netsim.LinkConfig {
+	return netsim.LinkConfig{Bandwidth: 100 * netsim.Mbps, Delay: time.Millisecond, QueuePackets: 1000, Seed: 1}
+}
+
+func TestHostConstructorValidation(t *testing.T) {
+	s := simtime.NewScheduler()
+	for _, fn := range []func(){
+		func() { NewHost("", s) },
+		func() { NewHost("x", nil) },
+		func() { NewNetwork(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+	h := NewHost("a", s)
+	if h.Name() != "a" || h.Clock() != s {
+		t.Fatal("host accessors wrong")
+	}
+}
+
+func TestNetworkDeliversBetweenHosts(t *testing.T) {
+	s := simtime.NewScheduler()
+	net := NewNetwork(s)
+	net.ConnectDuplex("mit", "utah", lanCfg())
+	if net.Hosts() != 2 {
+		t.Fatalf("Hosts() = %d, want 2", net.Hosts())
+	}
+
+	var got []*netsim.Packet
+	err := net.Host("utah").Bind(netsim.ProtoUDP, 5000, HandlerFunc(func(p *netsim.Packet) { got = append(got, p) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ok := net.Host("mit").Output(&netsim.Packet{
+		Proto: netsim.ProtoUDP,
+		Src:   netsim.Addr{Host: "mit", Port: 4000},
+		Dst:   netsim.Addr{Host: "utah", Port: 5000},
+		Size:  500,
+	})
+	if !ok {
+		t.Fatal("Output failed")
+	}
+	s.Run()
+	if len(got) != 1 || got[0].Size != 500 {
+		t.Fatalf("delivered %d packets", len(got))
+	}
+	if st := net.Host("mit").Stats(); st.SentPackets != 1 || st.SentBytes != 500 {
+		t.Fatalf("sender stats %+v", st)
+	}
+	if st := net.Host("utah").Stats(); st.ReceivedPackets != 1 {
+		t.Fatalf("receiver stats %+v", st)
+	}
+}
+
+func TestOutputFillsSourceHost(t *testing.T) {
+	s := simtime.NewScheduler()
+	net := NewNetwork(s)
+	net.ConnectDuplex("a", "b", lanCfg())
+	var src string
+	net.Host("b").Bind(netsim.ProtoUDP, 1, HandlerFunc(func(p *netsim.Packet) { src = p.Src.Host }))
+	net.Host("a").Output(&netsim.Packet{Proto: netsim.ProtoUDP, Dst: netsim.Addr{Host: "b", Port: 1}, Size: 10})
+	s.Run()
+	if src != "a" {
+		t.Fatalf("source host = %q, want %q", src, "a")
+	}
+}
+
+func TestNoRouteDrop(t *testing.T) {
+	s := simtime.NewScheduler()
+	h := NewHost("lonely", s)
+	ok := h.Output(&netsim.Packet{Proto: netsim.ProtoUDP, Dst: netsim.Addr{Host: "nowhere", Port: 1}, Size: 10})
+	if ok {
+		t.Fatal("Output should fail with no route")
+	}
+	if h.Stats().NoRouteDrops != 1 {
+		t.Fatalf("NoRouteDrops = %d", h.Stats().NoRouteDrops)
+	}
+}
+
+func TestDefaultRoute(t *testing.T) {
+	s := simtime.NewScheduler()
+	net := NewNetwork(s)
+	d := net.ConnectDuplex("a", "b", lanCfg())
+	a := net.Host("a")
+	a.SetDefaultRoute(d.Forward)
+	var got int
+	net.Host("b").Bind(netsim.ProtoUDP, 7, HandlerFunc(func(p *netsim.Packet) { got++ }))
+	// "c" has no explicit route; default route points at b's link, and since
+	// the packet is addressed to b's port, b receives it.
+	a.Output(&netsim.Packet{Proto: netsim.ProtoUDP, Dst: netsim.Addr{Host: "b", Port: 7}, Size: 10})
+	if a.RouteTo("unknown") != d.Forward {
+		t.Fatal("RouteTo should fall back to default route")
+	}
+	s.Run()
+	if got != 1 {
+		t.Fatal("packet via explicit route not delivered")
+	}
+}
+
+func TestNoListenerDrop(t *testing.T) {
+	s := simtime.NewScheduler()
+	net := NewNetwork(s)
+	net.ConnectDuplex("a", "b", lanCfg())
+	net.Host("a").Output(&netsim.Packet{Proto: netsim.ProtoUDP, Dst: netsim.Addr{Host: "b", Port: 9999}, Size: 10})
+	s.Run()
+	if net.Host("b").Stats().NoListenerDrops != 1 {
+		t.Fatal("expected a no-listener drop")
+	}
+}
+
+func TestConnectedBindingTakesPrecedence(t *testing.T) {
+	s := simtime.NewScheduler()
+	net := NewNetwork(s)
+	net.ConnectDuplex("client", "server", lanCfg())
+	srv := net.Host("server")
+
+	var wildcard, connected int
+	if err := srv.Bind(netsim.ProtoTCP, 80, HandlerFunc(func(p *netsim.Packet) { wildcard++ })); err != nil {
+		t.Fatal(err)
+	}
+	remote := netsim.Addr{Host: "client", Port: 1234}
+	if err := srv.BindConn(netsim.ProtoTCP, 80, remote, HandlerFunc(func(p *netsim.Packet) { connected++ })); err != nil {
+		t.Fatal(err)
+	}
+
+	send := func(srcPort int) {
+		net.Host("client").Output(&netsim.Packet{
+			Proto: netsim.ProtoTCP,
+			Src:   netsim.Addr{Host: "client", Port: srcPort},
+			Dst:   netsim.Addr{Host: "server", Port: 80},
+			Size:  40,
+		})
+	}
+	send(1234) // matches the connected binding
+	send(9999) // falls back to the wildcard listener
+	s.Run()
+	if connected != 1 || wildcard != 1 {
+		t.Fatalf("connected=%d wildcard=%d, want 1/1", connected, wildcard)
+	}
+
+	srv.UnbindConn(netsim.ProtoTCP, 80, remote)
+	send(1234)
+	s.Run()
+	if wildcard != 2 {
+		t.Fatal("after UnbindConn the wildcard listener should receive the packet")
+	}
+	srv.Unbind(netsim.ProtoTCP, 80)
+	send(1234)
+	s.Run()
+	if srv.Stats().NoListenerDrops != 1 {
+		t.Fatal("after Unbind packets should be dropped")
+	}
+}
+
+func TestDuplicateBindFails(t *testing.T) {
+	s := simtime.NewScheduler()
+	h := NewHost("a", s)
+	if err := h.Bind(netsim.ProtoUDP, 53, HandlerFunc(func(p *netsim.Packet) {})); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Bind(netsim.ProtoUDP, 53, HandlerFunc(func(p *netsim.Packet) {})); err == nil {
+		t.Fatal("duplicate bind should fail")
+	}
+	if err := h.Bind(netsim.ProtoUDP, 54, nil); err == nil {
+		t.Fatal("nil handler should fail")
+	}
+}
+
+func TestAllocPortUnique(t *testing.T) {
+	s := simtime.NewScheduler()
+	h := NewHost("a", s)
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		p := h.AllocPort()
+		if seen[p] {
+			t.Fatalf("port %d allocated twice", p)
+		}
+		seen[p] = true
+	}
+}
+
+type recordingNotifier struct {
+	keys  []netsim.FlowKey
+	bytes []int
+}
+
+func (r *recordingNotifier) NotifyTransmit(k netsim.FlowKey, n int) {
+	r.keys = append(r.keys, k)
+	r.bytes = append(r.bytes, n)
+}
+
+func TestTransmitNotifierInvokedPerPacket(t *testing.T) {
+	s := simtime.NewScheduler()
+	net := NewNetwork(s)
+	net.ConnectDuplex("a", "b", lanCfg())
+	rec := &recordingNotifier{}
+	a := net.Host("a")
+	a.SetTransmitNotifier(rec)
+	net.Host("b").Bind(netsim.ProtoUDP, 1, HandlerFunc(func(p *netsim.Packet) {}))
+
+	for i := 0; i < 3; i++ {
+		a.Output(&netsim.Packet{
+			Proto: netsim.ProtoUDP,
+			Src:   netsim.Addr{Host: "a", Port: 100},
+			Dst:   netsim.Addr{Host: "b", Port: 1},
+			Size:  200 + i,
+		})
+	}
+	s.Run()
+	if len(rec.keys) != 3 {
+		t.Fatalf("notifier called %d times, want 3", len(rec.keys))
+	}
+	if rec.bytes[2] != 202 {
+		t.Fatalf("notifier byte counts %v", rec.bytes)
+	}
+	if rec.keys[0].Dst.Host != "b" || rec.keys[0].Src.Port != 100 {
+		t.Fatalf("notifier key %+v", rec.keys[0])
+	}
+	if a.Stats().NotifierUpcalled != 3 {
+		t.Fatalf("NotifierUpcalled = %d", a.Stats().NotifierUpcalled)
+	}
+}
+
+func TestNotifierNotCalledWhenAbsent(t *testing.T) {
+	s := simtime.NewScheduler()
+	net := NewNetwork(s)
+	net.ConnectDuplex("a", "b", lanCfg())
+	a := net.Host("a")
+	a.Output(&netsim.Packet{Proto: netsim.ProtoUDP, Dst: netsim.Addr{Host: "b", Port: 1}, Size: 10})
+	if a.Stats().NotifierUpcalled != 0 {
+		t.Fatal("notifier counter should stay zero without a notifier")
+	}
+}
+
+func TestHostReturnsSameInstance(t *testing.T) {
+	s := simtime.NewScheduler()
+	net := NewNetwork(s)
+	if net.Host("x") != net.Host("x") {
+		t.Fatal("Host should be idempotent")
+	}
+}
+
+func TestAddRouteNilPanics(t *testing.T) {
+	s := simtime.NewScheduler()
+	h := NewHost("a", s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddRoute(nil) should panic")
+		}
+	}()
+	h.AddRoute("b", nil)
+}
+
+func TestOutputNilPanics(t *testing.T) {
+	s := simtime.NewScheduler()
+	h := NewHost("a", s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Output(nil) should panic")
+		}
+	}()
+	h.Output(nil)
+}

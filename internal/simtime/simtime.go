@@ -1,0 +1,313 @@
+// Package simtime provides a deterministic discrete-event scheduler used as
+// the virtual clock for the Congestion Manager simulation substrate.
+//
+// The paper's evaluation ran on a physical testbed; this package replaces
+// wall-clock time with a virtual clock so that every experiment in the
+// reproduction is deterministic and runs in milliseconds of real time.
+//
+// The central type is Scheduler. Events are scheduled at absolute virtual
+// times or after relative delays and are executed in timestamp order; ties are
+// broken by scheduling order (FIFO), which keeps runs reproducible.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Clock exposes the current virtual time. The Congestion Manager core and the
+// protocol implementations depend only on this interface (plus TimerFactory),
+// so they can also run against wall-clock time in micro-benchmarks.
+type Clock interface {
+	// Now returns the current virtual time measured from the start of the
+	// simulation.
+	Now() time.Duration
+}
+
+// Timer is a cancellable, resettable one-shot timer bound to a Clock.
+type Timer interface {
+	// Reset (re)arms the timer to fire after d. A zero or negative d fires
+	// the timer at the current time.
+	Reset(d time.Duration)
+	// Stop cancels the timer if it is pending. Stopping an already-fired or
+	// already-stopped timer is a no-op.
+	Stop()
+	// Pending reports whether the timer is currently armed.
+	Pending() bool
+}
+
+// TimerFactory creates timers that invoke fn when they fire.
+type TimerFactory interface {
+	NewTimer(fn func()) Timer
+}
+
+// Event is a handle to a scheduled callback.
+type Event struct {
+	at       time.Duration
+	seq      uint64
+	index    int // heap index, -1 when not queued
+	fn       func()
+	canceled bool
+}
+
+// Time returns the virtual time at which the event is scheduled to run.
+func (e *Event) Time() time.Duration { return e.at }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Cancel prevents the event from running. Cancelling an event that has
+// already run is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// eventHeap is a min-heap ordered by (time, sequence).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Scheduler is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; all simulated components run in virtual time on a single
+// goroutine, which mirrors the paper's single-host kernel module and keeps the
+// reproduction deterministic.
+type Scheduler struct {
+	now      time.Duration
+	events   eventHeap
+	seq      uint64
+	executed uint64
+	limit    uint64 // safety valve against runaway simulations; 0 = no limit
+}
+
+// NewScheduler returns a scheduler with the virtual clock at zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Len returns the number of scheduled (possibly cancelled) events.
+func (s *Scheduler) Len() int { return len(s.events) }
+
+// Executed returns the total number of events that have run.
+func (s *Scheduler) Executed() uint64 { return s.executed }
+
+// SetEventLimit sets a safety limit on the number of events executed by Run
+// and RunUntil; 0 disables the limit. Exceeding the limit causes a panic,
+// which in practice indicates a livelocked simulation (for example a
+// zero-delay event loop).
+func (s *Scheduler) SetEventLimit(n uint64) { s.limit = n }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// runs the event at the current time (it is clamped to Now).
+func (s *Scheduler) At(t time.Duration, fn func()) *Event {
+	if fn == nil {
+		panic("simtime: At called with nil function")
+	}
+	if t < s.now {
+		t = s.now
+	}
+	ev := &Event{at: t, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return ev
+}
+
+// After schedules fn to run after delay d from the current virtual time.
+func (s *Scheduler) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Step executes the earliest pending event, advancing the virtual clock to its
+// timestamp. It returns false if no events remain.
+func (s *Scheduler) Step() bool {
+	for len(s.events) > 0 {
+		ev := heap.Pop(&s.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		if ev.at > s.now {
+			s.now = ev.at
+		}
+		s.executed++
+		if s.limit != 0 && s.executed > s.limit {
+			panic(fmt.Sprintf("simtime: event limit %d exceeded at t=%v", s.limit, s.now))
+		}
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps at or before t, then advances the
+// clock to exactly t. Events scheduled during execution are honoured if they
+// fall within the horizon.
+func (s *Scheduler) RunUntil(t time.Duration) {
+	for {
+		next, ok := s.peekTime()
+		if !ok || next > t {
+			break
+		}
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// RunFor executes events for a span d of virtual time starting at Now.
+func (s *Scheduler) RunFor(d time.Duration) {
+	s.RunUntil(s.now + d)
+}
+
+func (s *Scheduler) peekTime() (time.Duration, bool) {
+	for len(s.events) > 0 {
+		if s.events[0].canceled {
+			heap.Pop(&s.events)
+			continue
+		}
+		return s.events[0].at, true
+	}
+	return 0, false
+}
+
+// NewTimer implements TimerFactory: the returned timer schedules fn on the
+// scheduler when it fires.
+func (s *Scheduler) NewTimer(fn func()) Timer {
+	if fn == nil {
+		panic("simtime: NewTimer called with nil function")
+	}
+	return &simTimer{s: s, fn: fn}
+}
+
+type simTimer struct {
+	s  *Scheduler
+	fn func()
+	ev *Event
+}
+
+func (t *simTimer) Reset(d time.Duration) {
+	t.Stop()
+	t.ev = t.s.After(d, func() {
+		t.ev = nil
+		t.fn()
+	})
+}
+
+func (t *simTimer) Stop() {
+	if t.ev != nil {
+		t.ev.Cancel()
+		t.ev = nil
+	}
+}
+
+func (t *simTimer) Pending() bool { return t.ev != nil && !t.ev.Canceled() }
+
+// Seconds converts a duration to floating-point seconds. It is a convenience
+// used throughout the experiment harness when reporting rates.
+func Seconds(d time.Duration) float64 { return d.Seconds() }
+
+// FromSeconds converts floating-point seconds to a duration, saturating at the
+// maximum representable duration.
+func FromSeconds(s float64) time.Duration {
+	if s <= 0 {
+		return 0
+	}
+	f := s * float64(time.Second)
+	if f > math.MaxInt64 {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(f)
+}
+
+// WallClock adapts the host's real clock to the Clock interface. It is used by
+// the Go micro-benchmarks (bench_test.go) that measure the real cost of CM
+// operations, mirroring the paper's CPU-overhead experiments.
+type WallClock struct {
+	start time.Time
+}
+
+// NewWallClock returns a WallClock whose zero is the moment of the call.
+func NewWallClock() *WallClock { return &WallClock{start: time.Now()} }
+
+// Now returns the elapsed wall-clock time since the WallClock was created.
+func (w *WallClock) Now() time.Duration { return time.Since(w.start) }
+
+// NewTimer implements TimerFactory using real time.AfterFunc timers.
+func (w *WallClock) NewTimer(fn func()) Timer {
+	return &wallTimer{fn: fn}
+}
+
+type wallTimer struct {
+	fn func()
+	t  *time.Timer
+}
+
+func (t *wallTimer) Reset(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if t.t == nil {
+		t.t = time.AfterFunc(d, t.fn)
+		return
+	}
+	t.t.Reset(d)
+}
+
+func (t *wallTimer) Stop() {
+	if t.t != nil {
+		t.t.Stop()
+	}
+}
+
+func (t *wallTimer) Pending() bool {
+	// The standard library does not expose pending state; callers in the
+	// wall-clock configuration do not rely on it.
+	return false
+}
+
+var (
+	_ Clock        = (*Scheduler)(nil)
+	_ TimerFactory = (*Scheduler)(nil)
+	_ Clock        = (*WallClock)(nil)
+	_ TimerFactory = (*WallClock)(nil)
+)

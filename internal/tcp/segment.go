@@ -1,0 +1,127 @@
+// Package tcp implements a simulation TCP: connection establishment and
+// teardown, a reliable in-order byte stream with cumulative ACKs, fast
+// retransmit, retransmission timeouts with Karn/Jacobson RTT estimation
+// (via RFC 1323-style timestamps), delayed acknowledgements and receiver
+// flow control.
+//
+// Congestion control is pluggable between two providers, mirroring the
+// paper's comparison:
+//
+//   - "native": a Linux-2.2-like Reno controller kept inside TCP (initial
+//     window of 2 segments, ACK counting).
+//   - "cm": congestion control offloaded to the Congestion Manager. TCP is an
+//     in-kernel CM client using the request/callback API with direct function
+//     calls, exactly as §3.2 of the paper describes: data is sent only from
+//     cmapp_send callbacks, ACK arrivals call cm_update, duplicate ACKs and
+//     timeouts report transient/persistent congestion, and the IP output hook
+//     charges transmissions with cm_notify.
+package tcp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// Segment is a TCP segment as carried in a netsim.Packet payload. Sequence
+// numbers are absolute 64-bit byte offsets (no wraparound handling is needed
+// at simulation scale). Payload bytes are synthetic: only lengths travel, and
+// receivers reconstruct the stream from sequence arithmetic.
+type Segment struct {
+	Seq int64 // sequence number of the first payload byte (or of SYN/FIN)
+	Ack int64 // cumulative acknowledgement: next byte expected
+	Len int   // payload length in bytes
+
+	SYN bool
+	FIN bool
+	ACK bool
+
+	// Wnd is the advertised receive window in bytes.
+	Wnd int
+
+	// TSVal and TSEcr are RFC 1323 timestamps used for RTT sampling.
+	TSVal time.Duration
+	TSEcr time.Duration
+
+	// Retransmit marks retransmitted segments (used only for statistics and
+	// to suppress RTT sampling on ambiguous segments, per Karn's rule).
+	Retransmit bool
+}
+
+// seqLen returns the amount of sequence space the segment occupies.
+func (s *Segment) seqLen() int64 {
+	n := int64(s.Len)
+	if s.SYN {
+		n++
+	}
+	if s.FIN {
+		n++
+	}
+	return n
+}
+
+// String formats the segment for diagnostics.
+func (s *Segment) String() string {
+	flags := ""
+	if s.SYN {
+		flags += "S"
+	}
+	if s.FIN {
+		flags += "F"
+	}
+	if s.ACK {
+		flags += "."
+	}
+	return fmt.Sprintf("seq=%d ack=%d len=%d %s", s.Seq, s.Ack, s.Len, flags)
+}
+
+// headerOverhead is the wire overhead of one segment: IP header, TCP header
+// and the timestamp option.
+const headerOverhead = netsim.IPHeaderSize + netsim.TCPHeaderSize + netsim.TCPTimestampOption
+
+// wireSize returns the on-the-wire size of a segment.
+func wireSize(seg *Segment) int { return headerOverhead + seg.Len }
+
+// State is the TCP connection state (simplified: the states needed for
+// connection setup, data transfer and orderly close).
+type State int
+
+// Connection states.
+const (
+	StateClosed State = iota
+	StateListen
+	StateSynSent
+	StateSynReceived
+	StateEstablished
+	StateFinWait  // our FIN sent, not yet acknowledged
+	StateCloseWait // peer's FIN received, we may still send
+	StateClosing  // both FINs in flight
+	StateTimeWait // fully closed
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateListen:
+		return "listen"
+	case StateSynSent:
+		return "syn-sent"
+	case StateSynReceived:
+		return "syn-received"
+	case StateEstablished:
+		return "established"
+	case StateFinWait:
+		return "fin-wait"
+	case StateCloseWait:
+		return "close-wait"
+	case StateClosing:
+		return "closing"
+	case StateTimeWait:
+		return "time-wait"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
