@@ -1,0 +1,29 @@
+# Tier-1 verification plus the perf gates. `make ci` is what every PR must
+# keep green.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench perf
+
+ci: vet build race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Compile-and-run every benchmark once so perf regressions that break the
+# harness itself are caught on each PR; real measurements use `make perf`.
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+# Regenerate the perf snapshot of the simulation core's hot loops.
+perf:
+	$(GO) run ./cmd/cmbench -experiment perf -perfout BENCH_1.json

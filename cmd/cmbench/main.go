@@ -8,6 +8,8 @@
 //	cmbench -experiment fig3     # run a single experiment
 //	cmbench -quick               # smaller sweeps, for a fast smoke run
 //	cmbench -csv                 # emit adaptation traces (fig8-10) as CSV instead of tables
+//	cmbench -experiment perf     # benchmark the simulation core's hot loops
+//	                             # and write a BENCH_<pr>.json perf snapshot
 package main
 
 import (
@@ -24,13 +26,14 @@ import (
 func main() {
 	var (
 		which = flag.String("experiment", "all",
-			"experiment to run: all, fig3, fig4, fig5, fig6, table1, fig7, fig8, fig9, fig10, setup, fairness, ablations")
-		quick = flag.Bool("quick", false, "use reduced sweeps so the whole run finishes quickly")
-		csv   = flag.Bool("csv", false, "print adaptation traces (fig8-10) as CSV")
+			"experiment to run: all, fig3, fig4, fig5, fig6, table1, fig7, fig8, fig9, fig10, setup, fairness, ablations, perf")
+		quick   = flag.Bool("quick", false, "use reduced sweeps so the whole run finishes quickly")
+		csv     = flag.Bool("csv", false, "print adaptation traces (fig8-10) as CSV")
+		perfOut = flag.String("perfout", "BENCH_1.json", "output path for the perf snapshot written by -experiment perf")
 	)
 	flag.Parse()
 
-	runner := &benchRunner{quick: *quick, csv: *csv}
+	runner := &benchRunner{quick: *quick, csv: *csv, perfOut: *perfOut}
 	selected := strings.Split(strings.ToLower(*which), ",")
 	ran := 0
 	for _, name := range selected {
@@ -52,8 +55,9 @@ func main() {
 }
 
 type benchRunner struct {
-	quick bool
-	csv   bool
+	quick   bool
+	csv     bool
+	perfOut string
 }
 
 func (b *benchRunner) run(name string) bool {
@@ -108,6 +112,13 @@ func (b *benchRunner) run(name string) bool {
 		b.section(experiments.RunAblationInitialWindow().Table())
 		b.section(experiments.RunAblationBulkCalls(32).Table())
 		b.section(experiments.RunAblationScheduler().Table())
+	case "perf":
+		// Deliberately not part of "all": the perf snapshot is a tooling
+		// artifact, not a paper experiment.
+		if err := runPerf(b.perfOut); err != nil {
+			fmt.Fprintf(os.Stderr, "perf snapshot failed: %v\n", err)
+			os.Exit(1)
+		}
 	default:
 		return false
 	}

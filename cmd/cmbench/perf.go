@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/cm"
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+)
+
+// perfResult is one core-loop measurement in the perf snapshot.
+type perfResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+	BytesPerOp  int64   `json:"bytes_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// perfSnapshot is the schema of BENCH_N.json: a trajectory point future PRs
+// benchmark themselves against.
+type perfSnapshot struct {
+	PR        int          `json:"pr"`
+	GoVersion string       `json:"go_version"`
+	GOARCH    string       `json:"goarch"`
+	Results   []perfResult `json:"results"`
+}
+
+// runPerf measures the simulation core's hot loops with testing.Benchmark and
+// writes the snapshot to path.
+func runPerf(path string) error {
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"simtime/schedule_fire", benchScheduleFire},
+		{"simtime/event_churn_4k", benchEventChurn},
+		{"netsim/link_transmit_deliver", benchLinkTransmitDeliver},
+		{"cm/request_grant_notify", benchRequestGrantNotify},
+		{"cm/charge_path_1k_flows", benchChargePath1k},
+		{"cm/round_robin_1k_flows", benchRoundRobin1k},
+	}
+	snap := perfSnapshot{PR: 1, GoVersion: runtime.Version(), GOARCH: runtime.GOARCH}
+	for _, bench := range benches {
+		r := testing.Benchmark(bench.fn)
+		res := perfResult{
+			Name:        bench.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+		snap.Results = append(snap.Results, res)
+		fmt.Printf("%-32s %12.1f ns/op %8d allocs/op %8d B/op\n",
+			res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", path)
+	return nil
+}
+
+func benchScheduleFire(b *testing.B) {
+	s := simtime.NewScheduler()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Microsecond, fn)
+		s.Step()
+	}
+}
+
+func benchEventChurn(b *testing.B) {
+	const population = 4096
+	s := simtime.NewScheduler()
+	fn := func() {}
+	events := make([]*simtime.Event, population)
+	for i := range events {
+		events[i] = s.At(time.Hour+time.Duration(i)*time.Millisecond, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := i % population
+		events[slot].Cancel()
+		events[slot] = s.At(time.Hour, fn)
+		s.After(0, fn)
+		s.Step()
+	}
+}
+
+func benchLinkTransmitDeliver(b *testing.B) {
+	sched := simtime.NewScheduler()
+	sink := netsim.ReceiverFunc(func(p *netsim.Packet) { p.Release() })
+	l := netsim.NewLink(sched, netsim.LinkConfig{
+		Bandwidth: 100 * netsim.Mbps, Delay: time.Millisecond, QueuePackets: 64,
+	}, sink)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := netsim.NewPacket()
+		p.Size = 1500
+		l.Send(p)
+		sched.Run()
+	}
+}
+
+func newPerfCM(nflows int) (*cm.CM, []cm.FlowID) {
+	sched := simtime.NewScheduler()
+	c := cm.New(sched, sched)
+	dst := netsim.Addr{Host: "server", Port: 80}
+	ids := make([]cm.FlowID, nflows)
+	for i := range ids {
+		ids[i] = c.Open(netsim.ProtoTCP, netsim.Addr{Host: "client", Port: 1000 + i}, dst)
+		c.RegisterSend(ids[i], func(f cm.FlowID) { c.Notify(f, 1500) })
+	}
+	c.Update(ids[0], 0, 1<<24, cm.NoLoss, time.Millisecond)
+	return c, ids
+}
+
+func benchRequestGrantNotify(b *testing.B) {
+	c, ids := newPerfCM(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Request(ids[0])
+		c.Update(ids[0], 1500, 1500, cm.NoLoss, 0)
+	}
+}
+
+func benchChargePath1k(b *testing.B) {
+	c, ids := newPerfCM(1024)
+	keys := make([]netsim.FlowKey, len(ids))
+	for i, id := range ids {
+		keys[i] = c.FlowInfo(id).Key
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.NotifyTransmit(keys[i%len(keys)], 1500)
+		if i%256 == 255 {
+			c.Update(ids[0], 256*1500, 256*1500, cm.NoLoss, 0)
+		}
+	}
+}
+
+func benchRoundRobin1k(b *testing.B) {
+	c, ids := newPerfCM(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Request(ids[i%len(ids)])
+		if i%1024 == 1023 {
+			c.Update(ids[0], 1024*1500, 1024*1500, cm.NoLoss, 0)
+		}
+	}
+}

@@ -50,6 +50,9 @@ func (cm *CM) Request(f FlowID) {
 	}
 	cm.acct.Requests++
 	fl.pendingRequests++
+	if fl.pendingRequests == 1 {
+		fl.mf.sched.MarkEligible(fl)
+	}
 	fl.mf.pump()
 }
 
@@ -65,6 +68,9 @@ func (cm *CM) BulkRequest(flows []FlowID) {
 			continue
 		}
 		fl.pendingRequests++
+		if fl.pendingRequests == 1 {
+			fl.mf.sched.MarkEligible(fl)
+		}
 		touched[fl.mf] = true
 	}
 	for mf := range touched {
@@ -81,6 +87,12 @@ func (cm *CM) Notify(f FlowID, nsent int) {
 	if !ok {
 		return
 	}
+	cm.notifyFlow(fl, nsent)
+}
+
+// notifyFlow is the shared cm_notify body for callers that have already
+// resolved the flow state (Notify by ID, NotifyTransmit by key).
+func (cm *CM) notifyFlow(fl *flowState, nsent int) {
 	cm.acct.Notifies++
 	if nsent < 0 {
 		nsent = 0

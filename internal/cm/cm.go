@@ -234,7 +234,10 @@ type CM struct {
 	nextFlowID FlowID
 	nextMFTag  int
 	flows      map[FlowID]*flowState
-	byKey      map[netsim.FlowKey]FlowID
+	// byKey indexes flows by their transport 5-tuple so the IP output hook's
+	// per-packet charge path (NotifyTransmit) reaches the flow — and through
+	// it the macroflow — with a single map lookup.
+	byKey      map[netsim.FlowKey]*flowState
 	macroflows map[macroflowKey]*Macroflow
 
 	acct Accounting
@@ -257,7 +260,7 @@ func New(clock simtime.Clock, timers simtime.TimerFactory, opts ...Option) *CM {
 		clock:      clock,
 		timers:     timers,
 		flows:      make(map[FlowID]*flowState),
-		byKey:      make(map[netsim.FlowKey]FlowID),
+		byKey:      make(map[netsim.FlowKey]*flowState),
 		macroflows: make(map[macroflowKey]*Macroflow),
 	}
 }
@@ -287,10 +290,10 @@ type macroflowKey struct {
 func (cm *CM) Open(proto netsim.Protocol, src, dst netsim.Addr) FlowID {
 	cm.acct.Opens++
 	key := netsim.FlowKey{Proto: proto, Src: src, Dst: dst}
-	if id, ok := cm.byKey[key]; ok {
+	if fl, ok := cm.byKey[key]; ok {
 		// Re-opening an existing flow returns the same handle, matching the
 		// idempotent behaviour of the kernel module.
-		return id
+		return fl.id
 	}
 	id := cm.nextFlowID
 	cm.nextFlowID++
@@ -306,7 +309,7 @@ func (cm *CM) Open(proto netsim.Protocol, src, dst netsim.Addr) FlowID {
 		open:       true,
 	}
 	cm.flows[id] = fl
-	cm.byKey[key] = id
+	cm.byKey[key] = fl
 	mf.addFlow(fl)
 	return id
 }
@@ -315,8 +318,8 @@ func (cm *CM) Open(proto netsim.Protocol, src, dst netsim.Addr) FlowID {
 // flow is not managed by the CM. The IP output hook uses it to find the flow
 // to charge.
 func (cm *CM) Lookup(key netsim.FlowKey) FlowID {
-	if id, ok := cm.byKey[key]; ok {
-		return id
+	if fl, ok := cm.byKey[key]; ok {
+		return fl.id
 	}
 	return InvalidFlow
 }
@@ -372,13 +375,15 @@ func (cm *CM) macroflowFor(key macroflowKey) *Macroflow {
 
 // NotifyTransmit implements node.TransmitNotifier: the IP output routine
 // reports every transmission so the CM can charge it to the right macroflow.
-// Transmissions for flows the CM does not manage are ignored.
+// Transmissions for flows the CM does not manage are ignored. This is the
+// per-packet charge path, so it goes key -> flow -> macroflow with one map
+// lookup instead of chaining Lookup and Notify.
 func (cm *CM) NotifyTransmit(key netsim.FlowKey, nbytes int) {
-	id := cm.Lookup(key)
-	if id == InvalidFlow {
+	fl, ok := cm.byKey[key]
+	if !ok {
 		return
 	}
-	cm.Notify(id, nbytes)
+	cm.notifyFlow(fl, nbytes)
 }
 
 var _ interface {

@@ -29,6 +29,12 @@ type flowState struct {
 	unclaimedGrants int
 	weight          float64
 
+	// Intrusive links for the round-robin scheduler's circular rotation
+	// list (nil when not registered), and the weighted scheduler's running
+	// credit. Living on the flowState keeps Add/Remove/Next allocation-free.
+	schedNext, schedPrev *flowState
+	wrrCredit            float64
+
 	// Statistics.
 	grantsReceived int64
 	bytesCharged   int64

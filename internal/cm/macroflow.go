@@ -168,6 +168,9 @@ func (m *Macroflow) pump() {
 			break
 		}
 		fl.pendingRequests--
+		if fl.pendingRequests == 0 {
+			m.sched.MarkIneligible(fl)
+		}
 		fl.unclaimedGrants++
 		fl.grantsReceived++
 		g := grant{flow: fl, issued: m.cm.clock.Now(), bytes: m.mtu()}

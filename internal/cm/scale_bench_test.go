@@ -1,0 +1,91 @@
+package cm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+)
+
+// newScaleCM builds a CM with nflows flows aggregated into one macroflow
+// (same destination host), each with a send callback that charges its grant —
+// the shape of a busy server scheduling a large ensemble.
+func newScaleCM(nflows int) (*simtime.Scheduler, *CM, []FlowID) {
+	sched := simtime.NewScheduler()
+	c := New(sched, sched)
+	dst := netsim.Addr{Host: "server", Port: 80}
+	ids := make([]FlowID, nflows)
+	for i := range ids {
+		ids[i] = c.Open(netsim.ProtoTCP, netsim.Addr{Host: "client", Port: 1000 + i}, dst)
+		c.RegisterSend(ids[i], func(f FlowID) { c.Notify(f, 1500) })
+	}
+	// Open the shared window wide so scheduling, not congestion control, is
+	// what the benchmark measures.
+	c.Update(ids[0], 0, 1<<24, NoLoss, time.Millisecond)
+	return sched, c, ids
+}
+
+// BenchmarkScaleRoundRobin1kFlows rotates grants across 1k flows sharing one
+// macroflow: each op is one request + grant + notify for one flow.
+func BenchmarkScaleRoundRobin1kFlows(b *testing.B) {
+	_, c, ids := newScaleCM(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Request(ids[i%len(ids)])
+		if i%1024 == 1023 {
+			// Cover the charged bytes so the window stays open.
+			c.Update(ids[0], 1024*1500, 1024*1500, NoLoss, 0)
+		}
+	}
+}
+
+// BenchmarkScaleChargePath1kFlows measures the IP-output charge path
+// (NotifyTransmit) with 1k managed flows: one FlowKey map lookup plus the
+// macroflow charge.
+func BenchmarkScaleChargePath1kFlows(b *testing.B) {
+	_, c, ids := newScaleCM(1024)
+	keys := make([]netsim.FlowKey, len(ids))
+	for i, id := range ids {
+		keys[i] = c.FlowInfo(id).Key
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.NotifyTransmit(keys[i%len(keys)], 1500)
+		if i%256 == 255 {
+			c.Update(ids[0], 256*1500, 256*1500, NoLoss, 0)
+		}
+	}
+}
+
+// BenchmarkScaleOpenClose1kFlows measures flow churn against an existing
+// 1k-flow macroflow: the O(1) scheduler Add/Remove is the dominant cost
+// beyond the map inserts.
+func BenchmarkScaleOpenClose1kFlows(b *testing.B) {
+	_, c, _ := newScaleCM(1024)
+	dst := netsim.Addr{Host: "server", Port: 80}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := c.Open(netsim.ProtoTCP, netsim.Addr{Host: "churn", Port: 1 + i%4096}, dst)
+		c.Close(f)
+	}
+}
+
+// BenchmarkScaleSparseEligibility1kFlows is the worst case the eligible-flow
+// count guards: 1k registered flows of which only one ever has requests.
+// Without the count every closed-window pump would scan the full rotation.
+func BenchmarkScaleSparseEligibility1kFlows(b *testing.B) {
+	_, c, ids := newScaleCM(1024)
+	hot := ids[512]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Request(hot)
+		if i%64 == 63 {
+			c.Update(hot, 64*1500, 64*1500, NoLoss, 0)
+		}
+	}
+}

@@ -15,6 +15,13 @@ type Scheduler interface {
 	Add(f *flowState)
 	// Remove deregisters a flow.
 	Remove(f *flowState)
+	// MarkEligible tells the scheduler that f transitioned from zero to a
+	// nonzero number of pending requests. The CM core calls it on every such
+	// transition so schedulers can maintain an eligible-flow count instead of
+	// rescanning all flows.
+	MarkEligible(f *flowState)
+	// MarkIneligible is the reverse transition (pending requests hit zero).
+	MarkIneligible(f *flowState)
 	// Next returns the next flow that has at least one pending request, or
 	// nil if no flow is eligible. Successive calls rotate fairly among
 	// eligible flows.
@@ -28,9 +35,18 @@ type Scheduler interface {
 }
 
 // roundRobinScheduler grants eligible flows in strict rotation.
+//
+// Flows are kept on an intrusive circular doubly-linked list (the schedNext /
+// schedPrev fields of flowState) in insertion order, with a cursor marking
+// the next rotation candidate. Add and Remove are O(1) with no allocation;
+// Next is O(1) when no eligible flows exist (the common idle case for a
+// closed window) thanks to the eligible count, and otherwise scans only until
+// the first flow with a pending request.
 type roundRobinScheduler struct {
-	flows []*flowState
-	next  int
+	head     *flowState // insertion-order anchor; nil when empty
+	cursor   *flowState // next candidate in the rotation
+	count    int
+	eligible int // flows with pendingRequests > 0
 }
 
 // NewRoundRobinScheduler returns the paper's default unweighted round-robin
@@ -39,34 +55,62 @@ func NewRoundRobinScheduler() Scheduler { return &roundRobinScheduler{} }
 
 func (s *roundRobinScheduler) Name() string { return "round-robin" }
 
-func (s *roundRobinScheduler) Add(f *flowState) { s.flows = append(s.flows, f) }
-
-func (s *roundRobinScheduler) Remove(f *flowState) {
-	for i, fl := range s.flows {
-		if fl == f {
-			s.flows = append(s.flows[:i], s.flows[i+1:]...)
-			if s.next > i {
-				s.next--
-			}
-			if len(s.flows) > 0 {
-				s.next %= len(s.flows)
-			} else {
-				s.next = 0
-			}
-			return
-		}
+func (s *roundRobinScheduler) Add(f *flowState) {
+	if s.head == nil {
+		f.schedNext, f.schedPrev = f, f
+		s.head = f
+		s.cursor = f
+	} else {
+		// Insert at the tail (just before head), matching slice append order.
+		tail := s.head.schedPrev
+		tail.schedNext = f
+		f.schedPrev = tail
+		f.schedNext = s.head
+		s.head.schedPrev = f
+	}
+	s.count++
+	if f.pendingRequests > 0 {
+		s.eligible++
 	}
 }
 
+func (s *roundRobinScheduler) Remove(f *flowState) {
+	if f.schedNext == nil {
+		return // not registered
+	}
+	if f.pendingRequests > 0 {
+		s.eligible--
+	}
+	s.count--
+	if s.count == 0 {
+		s.head, s.cursor = nil, nil
+	} else {
+		if s.cursor == f {
+			s.cursor = f.schedNext
+		}
+		if s.head == f {
+			s.head = f.schedNext
+		}
+		f.schedPrev.schedNext = f.schedNext
+		f.schedNext.schedPrev = f.schedPrev
+	}
+	f.schedNext, f.schedPrev = nil, nil
+}
+
+func (s *roundRobinScheduler) MarkEligible(f *flowState)   { s.eligible++ }
+func (s *roundRobinScheduler) MarkIneligible(f *flowState) { s.eligible-- }
+
 func (s *roundRobinScheduler) Next() *flowState {
-	n := len(s.flows)
-	for i := 0; i < n; i++ {
-		idx := (s.next + i) % n
-		f := s.flows[idx]
+	if s.eligible <= 0 || s.cursor == nil {
+		return nil
+	}
+	f := s.cursor
+	for i := 0; i < s.count; i++ {
 		if f.pendingRequests > 0 {
-			s.next = (idx + 1) % n
+			s.cursor = f.schedNext
 			return f
 		}
+		f = f.schedNext
 	}
 	return nil
 }
@@ -74,41 +118,47 @@ func (s *roundRobinScheduler) Next() *flowState {
 func (s *roundRobinScheduler) Weight(f *flowState) float64 { return 1 }
 
 func (s *roundRobinScheduler) TotalWeight() float64 {
-	if len(s.flows) == 0 {
+	if s.count == 0 {
 		return 1
 	}
-	return float64(len(s.flows))
+	return float64(s.count)
 }
 
 // weightedRoundRobinScheduler grants flows in proportion to their weights
 // using a smooth deficit-style rotation. Flows carry a weight (default 1)
-// set via CM.SetWeight.
+// set via CM.SetWeight; per-flow credit lives on the flowState itself so the
+// scheduler does no map work on the grant path.
 type weightedRoundRobinScheduler struct {
-	flows   []*flowState
-	credits map[*flowState]float64
+	flows []*flowState
 }
 
 // NewWeightedRoundRobinScheduler returns a weighted round-robin scheduler.
 func NewWeightedRoundRobinScheduler() Scheduler {
-	return &weightedRoundRobinScheduler{credits: make(map[*flowState]float64)}
+	return &weightedRoundRobinScheduler{}
 }
 
 func (s *weightedRoundRobinScheduler) Name() string { return "weighted-round-robin" }
 
 func (s *weightedRoundRobinScheduler) Add(f *flowState) {
 	s.flows = append(s.flows, f)
-	s.credits[f] = 0
+	f.wrrCredit = 0
 }
 
 func (s *weightedRoundRobinScheduler) Remove(f *flowState) {
+	// Order-preserving removal keeps the credit-tie scan order (and therefore
+	// grant sequences) identical to the original slice implementation.
 	for i, fl := range s.flows {
 		if fl == f {
 			s.flows = append(s.flows[:i], s.flows[i+1:]...)
-			delete(s.credits, f)
 			return
 		}
 	}
 }
+
+// The weighted scheduler scans all flows on every Next call anyway, so the
+// eligibility transitions carry no extra state.
+func (s *weightedRoundRobinScheduler) MarkEligible(f *flowState)   {}
+func (s *weightedRoundRobinScheduler) MarkIneligible(f *flowState) {}
 
 // Next picks the eligible flow with the highest accumulated credit, then
 // charges it one unit. Credits accrue proportionally to weight every call, so
@@ -122,15 +172,15 @@ func (s *weightedRoundRobinScheduler) Next() *flowState {
 			continue
 		}
 		anyEligible = true
-		s.credits[f] += f.weight
-		if best == nil || s.credits[f] > s.credits[best] {
+		f.wrrCredit += f.weight
+		if best == nil || f.wrrCredit > best.wrrCredit {
 			best = f
 		}
 	}
 	if !anyEligible {
 		return nil
 	}
-	s.credits[best] -= s.totalEligibleWeight()
+	best.wrrCredit -= s.totalEligibleWeight()
 	return best
 }
 

@@ -1,0 +1,278 @@
+package cm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+)
+
+func newFlows(n int) []*flowState {
+	fls := make([]*flowState, n)
+	for i := range fls {
+		fls[i] = &flowState{id: FlowID(i), weight: 1}
+	}
+	return fls
+}
+
+// markAll gives every flow one pending request, informing the scheduler of
+// the eligibility transition exactly as the CM core does.
+func markAll(s Scheduler, fls []*flowState) {
+	for _, f := range fls {
+		f.pendingRequests++
+		if f.pendingRequests == 1 {
+			s.MarkEligible(f)
+		}
+	}
+}
+
+// grantNext mimics the pump: take the scheduler's pick and consume one
+// request from it.
+func grantNext(t *testing.T, s Scheduler) *flowState {
+	t.Helper()
+	f := s.Next()
+	if f == nil {
+		t.Fatal("Next() = nil with eligible flows")
+	}
+	f.pendingRequests--
+	if f.pendingRequests == 0 {
+		s.MarkIneligible(f)
+	}
+	return f
+}
+
+func TestRoundRobinRotatesFairly(t *testing.T) {
+	s := NewRoundRobinScheduler()
+	fls := newFlows(3)
+	for _, f := range fls {
+		s.Add(f)
+	}
+	for _, f := range fls {
+		f.pendingRequests = 2
+		s.MarkEligible(f)
+	}
+	var order []FlowID
+	for i := 0; i < 6; i++ {
+		order = append(order, grantNext(t, s).id)
+	}
+	want := []FlowID{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("rotation = %v, want %v", order, want)
+		}
+	}
+	if s.Next() != nil {
+		t.Fatal("Next() should be nil when no requests remain")
+	}
+}
+
+// Removing a flow positioned before the cursor must not skip or repeat flows.
+func TestRoundRobinRemoveBeforeCursor(t *testing.T) {
+	s := NewRoundRobinScheduler()
+	fls := newFlows(4)
+	for _, f := range fls {
+		s.Add(f)
+	}
+	markAll(s, fls)
+	markAll(s, fls) // two requests each
+	// Advance the rotation past flows 0 and 1.
+	if got := grantNext(t, s); got.id != 0 {
+		t.Fatalf("first grant to %d, want 0", got.id)
+	}
+	if got := grantNext(t, s); got.id != 1 {
+		t.Fatalf("second grant to %d, want 1", got.id)
+	}
+	// Remove flow 0, which sits before the cursor (cursor is at flow 2).
+	fls[0].pendingRequests = 0
+	s.Remove(fls[0])
+	var order []FlowID
+	for i := 0; i < 5; i++ {
+		order = append(order, grantNext(t, s).id)
+	}
+	want := []FlowID{2, 3, 1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("after remove-before-cursor, order = %v, want %v", order, want)
+		}
+	}
+}
+
+// Removing the flow the cursor points at must advance the cursor to its
+// successor, wrapping at the end of the rotation.
+func TestRoundRobinRemoveAtCursorAndLast(t *testing.T) {
+	s := NewRoundRobinScheduler()
+	fls := newFlows(3)
+	for _, f := range fls {
+		s.Add(f)
+	}
+	markAll(s, fls)
+	markAll(s, fls)
+	// Cursor starts at flow 0: removing it should hand the next grant to 1.
+	fls[0].pendingRequests = 0
+	s.Remove(fls[0])
+	if got := grantNext(t, s); got.id != 1 {
+		t.Fatalf("grant after remove-at-cursor went to %d, want 1", got.id)
+	}
+	// Cursor now at flow 2 (the last); removing it must wrap the cursor to 1.
+	fls[2].pendingRequests = 0
+	s.Remove(fls[2])
+	if got := grantNext(t, s); got.id != 1 {
+		t.Fatalf("grant after remove-last went to %d, want 1 (wrapped)", got.id)
+	}
+	// Removing the final flow empties the scheduler.
+	fls[1].pendingRequests = 0
+	s.Remove(fls[1])
+	if s.Next() != nil {
+		t.Fatal("Next() on empty scheduler should be nil")
+	}
+	if s.TotalWeight() != 1 {
+		t.Fatalf("TotalWeight() on empty = %v, want 1", s.TotalWeight())
+	}
+}
+
+// Removing flows while the rotation is in flight (the remove-while-rotating
+// case: close a flow between grants) must keep a coherent rotation among the
+// survivors.
+func TestRoundRobinRemoveWhileRotating(t *testing.T) {
+	s := NewRoundRobinScheduler()
+	fls := newFlows(5)
+	for _, f := range fls {
+		s.Add(f)
+	}
+	for _, f := range fls {
+		f.pendingRequests = 100
+		s.MarkEligible(f)
+	}
+	seen := make(map[FlowID]int)
+	for i := 0; i < 3; i++ {
+		seen[grantNext(t, s).id]++
+	}
+	// Remove flow 3 mid-rotation (cursor is at 3 right now).
+	fls[3].pendingRequests = 0
+	s.Remove(fls[3])
+	for i := 0; i < 8; i++ {
+		f := grantNext(t, s)
+		if f.id == 3 {
+			t.Fatal("removed flow still granted")
+		}
+		seen[f.id]++
+	}
+	// The four survivors must each have been granted 2 or 3 times in 11
+	// grants — strict rotation tolerates at most a difference of one.
+	for _, id := range []FlowID{0, 1, 2, 4} {
+		if seen[id] < 2 || seen[id] > 3 {
+			t.Fatalf("unfair rotation after removal: counts %v", seen)
+		}
+	}
+}
+
+// Remove on a flow that was never added must be a no-op.
+func TestRoundRobinRemoveUnknownFlow(t *testing.T) {
+	s := NewRoundRobinScheduler()
+	f := &flowState{id: 9}
+	s.Remove(f) // must not panic
+	fls := newFlows(2)
+	s.Add(fls[0])
+	s.Add(fls[1])
+	s.Remove(f) // still a no-op
+	if s.TotalWeight() != 2 {
+		t.Fatalf("TotalWeight() = %v, want 2", s.TotalWeight())
+	}
+}
+
+// The eligible count must short-circuit Next when no flow has requests, and
+// recover exactly when requests appear — exercised through the CM API so the
+// MarkEligible/MarkIneligible transitions run for real.
+func TestRoundRobinEligibleCountViaCM(t *testing.T) {
+	sched := simtime.NewScheduler()
+	c := New(sched, sched)
+	dst := netsim.Addr{Host: "server", Port: 80}
+	var ids []FlowID
+	for i := 0; i < 10; i++ {
+		ids = append(ids, c.Open(netsim.ProtoTCP, netsim.Addr{Host: "client", Port: 1000 + i}, dst))
+	}
+	mf := c.MacroflowOf(ids[0])
+	rr := mf.sched.(*roundRobinScheduler)
+	if rr.eligible != 0 {
+		t.Fatalf("eligible = %d after open, want 0", rr.eligible)
+	}
+	granted := 0
+	for _, id := range ids {
+		c.RegisterSend(id, func(f FlowID) { granted++; c.Notify(f, 0) })
+	}
+	c.Request(ids[3])
+	c.Request(ids[7])
+	sched.Run()
+	if granted != 2 {
+		t.Fatalf("granted = %d, want 2", granted)
+	}
+	if rr.eligible != 0 {
+		t.Fatalf("eligible = %d after grants consumed, want 0", rr.eligible)
+	}
+	// Close the congestion window so a request stays pending: the eligible
+	// count must hold at 1 until the flow is closed, then drop with it.
+	c.Notify(ids[0], 1<<20)
+	c.Request(ids[5])
+	if rr.eligible != 1 {
+		t.Fatalf("eligible = %d with one request pending, want 1", rr.eligible)
+	}
+	c.Close(ids[5])
+	if rr.eligible != 0 {
+		t.Fatalf("eligible = %d after closing the requesting flow, want 0", rr.eligible)
+	}
+}
+
+// The weighted scheduler must still apportion grants by weight after the
+// credit bookkeeping moved onto flowState.
+func TestWeightedSchedulerProportions(t *testing.T) {
+	s := NewWeightedRoundRobinScheduler()
+	fls := newFlows(2)
+	fls[0].weight = 3
+	fls[1].weight = 1
+	s.Add(fls[0])
+	s.Add(fls[1])
+	fls[0].pendingRequests = 1000
+	fls[1].pendingRequests = 1000
+	counts := map[FlowID]int{}
+	for i := 0; i < 400; i++ {
+		f := s.Next()
+		if f == nil {
+			t.Fatal("Next() = nil")
+		}
+		f.pendingRequests--
+		counts[f.id]++
+	}
+	if counts[0] < 290 || counts[0] > 310 {
+		t.Fatalf("weight-3 flow got %d of 400 grants, want ~300", counts[0])
+	}
+	if s.TotalWeight() != 4 {
+		t.Fatalf("TotalWeight() = %v, want 4", s.TotalWeight())
+	}
+	if w := s.Weight(fls[0]); w != 3 {
+		t.Fatalf("Weight = %v, want 3", w)
+	}
+}
+
+// Grant issue must stay allocation-free in steady state: request, grant
+// delivery, notify and the window bookkeeping all run on recycled storage.
+func TestRequestGrantNotifySteadyStateAllocs(t *testing.T) {
+	sched := simtime.NewScheduler()
+	c := New(sched, sched)
+	f := c.Open(netsim.ProtoTCP, netsim.Addr{Host: "a", Port: 1}, netsim.Addr{Host: "b", Port: 80})
+	c.RegisterSend(f, func(id FlowID) { c.Notify(id, 1500) })
+	c.Update(f, 0, 1<<20, NoLoss, time.Millisecond)
+	for i := 0; i < 64; i++ {
+		c.Request(f)
+		c.Update(f, 1500, 1500, NoLoss, 0)
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		c.Request(f)
+		c.Update(f, 1500, 1500, NoLoss, 0)
+	})
+	// The grant path itself is allocation-free; the only tolerated source is
+	// the background timer's first arm after idle, which the warmup removes.
+	if allocs != 0 {
+		t.Fatalf("request/grant/notify/update allocated %.2f objects per op, want 0", allocs)
+	}
+}

@@ -109,6 +109,12 @@ type Link struct {
 	tap func(pkt *Packet)
 	// dropTap observes dropped packets (random or queue drops).
 	dropTap func(pkt *Packet, reason string)
+
+	// txDone and handUpArg are built once so the per-packet transmit and
+	// delivery events schedule with AfterArg instead of a fresh closure,
+	// keeping the steady-state path allocation-free.
+	txDone    func(any)
+	handUpArg func(any)
 }
 
 // NewLink creates a link delivering to dst. The destination may be changed
@@ -129,13 +135,19 @@ func NewLink(sched *simtime.Scheduler, cfg LinkConfig, dst Receiver) *Link {
 	if cfg.ECNThresholdPackets > 0 {
 		q.SetECNThreshold(cfg.ECNThresholdPackets)
 	}
-	return &Link{
+	l := &Link{
 		cfg:   cfg,
 		sched: sched,
 		dst:   dst,
 		queue: q,
 		rng:   rand.New(rand.NewSource(seed)),
 	}
+	l.txDone = func(x any) {
+		l.deliver(x.(*Packet))
+		l.startTransmit()
+	}
+	l.handUpArg = func(x any) { l.handUp(x.(*Packet)) }
+	return l
 }
 
 // SetDestination points the link at a new receiver.
@@ -182,6 +194,7 @@ func (l *Link) Send(pkt *Packet) bool {
 		if l.dropTap != nil {
 			l.dropTap(pkt, "loss")
 		}
+		pkt.Release()
 		return false
 	}
 	pkt.Enqueued = l.sched.Now()
@@ -190,6 +203,7 @@ func (l *Link) Send(pkt *Packet) bool {
 		if l.dropTap != nil {
 			l.dropTap(victim, "queue")
 		}
+		victim.Release()
 		if victim == pkt {
 			return false
 		}
@@ -213,10 +227,7 @@ func (l *Link) startTransmit() {
 	l.stats.BusyTime += txTime
 	// Delivery happens after serialisation plus propagation; the link is
 	// free to serialise the next packet as soon as this one has left.
-	l.sched.After(txTime, func() {
-		l.deliver(pkt)
-		l.startTransmit()
-	})
+	l.sched.AfterArg(txTime, l.txDone, pkt)
 }
 
 func (l *Link) deliver(pkt *Packet) {
@@ -234,14 +245,19 @@ func (l *Link) deliver(pkt *Packet) {
 		delay += extra
 		l.stats.Reordered++
 	}
-	duplicate := l.cfg.DuplicateRate > 0 && l.rng.Float64() < l.cfg.DuplicateRate
-	l.sched.After(delay, func() {
-		l.handUp(pkt)
-		if duplicate {
+	if l.cfg.DuplicateRate > 0 && l.rng.Float64() < l.cfg.DuplicateRate {
+		// Duplication is rare; the closure here is off the steady-state path.
+		// The clone must be taken before the original is handed up: the
+		// receiver may release the original back to the pool.
+		dup := pkt.Clone()
+		l.sched.After(delay, func() {
+			l.handUp(pkt)
 			l.stats.Duplicated++
-			l.handUp(pkt.Clone())
-		}
-	})
+			l.handUp(dup)
+		})
+		return
+	}
+	l.sched.AfterArg(delay, l.handUpArg, pkt)
 }
 
 func (l *Link) handUp(pkt *Packet) {
@@ -252,6 +268,8 @@ func (l *Link) handUp(pkt *Packet) {
 	}
 	if l.dst != nil {
 		l.dst.Receive(pkt)
+	} else {
+		pkt.Release()
 	}
 }
 

@@ -10,6 +10,7 @@ package netsim
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -70,6 +71,11 @@ func (k FlowKey) Reverse() FlowKey {
 // (headers plus payload) and is what links serialise and queues count.
 // Payload carries the transport-layer unit (a TCP segment, a UDP datagram)
 // and is opaque to the network.
+//
+// Hot paths obtain packets from a pool with NewPacket and hand them back with
+// Release once consumed (see docs/PERF.md for the ownership rules). Packets
+// built with a literal are never pooled; Release on them is a no-op, so test
+// code may treat packets as ordinary garbage-collected values.
 type Packet struct {
 	Proto Protocol
 	Src   Addr
@@ -103,6 +109,39 @@ type Packet struct {
 	// Enqueued records when the packet entered the first queue; used for
 	// queueing-delay statistics.
 	Enqueued time.Duration
+
+	// pooled marks packets obtained from the pool; only those are returned
+	// to it by Release, and the flag doubles as a double-release guard.
+	pooled bool
+}
+
+// packetPool recycles Packet objects across transmit/deliver cycles so the
+// per-packet hot path allocates nothing in steady state. sync.Pool keeps the
+// freelist safe for the package-parallel test runner; within one simulation
+// everything is single-threaded.
+var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// NewPacket returns a zeroed packet from the pool. The caller owns it until
+// it is handed to Host.Output / Link.Send, after which the network owns it:
+// the link releases packets it drops, and the final receiver (the host demux)
+// releases packets after delivery.
+func NewPacket() *Packet {
+	p := packetPool.Get().(*Packet)
+	*p = Packet{pooled: true}
+	return p
+}
+
+// Release returns a pooled packet to the pool. It is a no-op for packets not
+// obtained from NewPacket and for packets already released, so callers at
+// end-of-life points can release unconditionally. The packet must not be used
+// after Release.
+func (p *Packet) Release() {
+	if p == nil || !p.pooled {
+		return
+	}
+	p.pooled = false
+	p.Payload = nil
+	packetPool.Put(p)
 }
 
 // Key returns the packet's flow key.
@@ -110,11 +149,15 @@ func (p *Packet) Key() FlowKey {
 	return FlowKey{Proto: p.Proto, Src: p.Src, Dst: p.Dst}
 }
 
-// Clone returns a shallow copy of the packet. Links never modify payloads, so
-// a shallow copy is sufficient for duplication scenarios.
+// Clone returns a shallow copy of the packet drawn from the pool. Links never
+// modify payloads, so a shallow copy is sufficient for duplication scenarios.
+// The copy has an independent lifetime: both it and the original must be
+// released separately. A clone of an unpooled packet is itself unpooled, so
+// clones compare equal to their source.
 func (p *Packet) Clone() *Packet {
-	q := *p
-	return &q
+	q := packetPool.Get().(*Packet)
+	*q = *p
+	return q
 }
 
 // String formats a short description of the packet.

@@ -45,6 +45,10 @@ type QueueStats struct {
 //
 // Limits may be expressed in packets, bytes, or both; a zero limit means
 // "unlimited" in that dimension, but at least one limit must be set.
+//
+// The buffer is a preallocated ring: enqueue and dequeue are O(1) and
+// allocation-free in steady state (packet-limited queues never reallocate;
+// byte-limited queues grow by doubling until their working depth is reached).
 type Queue struct {
 	limitPackets int
 	limitBytes   int
@@ -55,7 +59,9 @@ type Queue struct {
 	// packet is marked CE instead of being dropped on overflow.
 	ecnThresholdPackets int
 
-	pkts  []*Packet
+	buf   []*Packet // ring buffer of queued packets
+	head  int       // index of the oldest packet
+	count int       // number of queued packets
 	bytes int
 	stats QueueStats
 }
@@ -70,7 +76,17 @@ func NewQueue(limitPackets, limitBytes int, policy DropPolicy) *Queue {
 	if limitPackets == 0 && limitBytes == 0 {
 		panic("netsim: queue needs at least one limit")
 	}
-	return &Queue{limitPackets: limitPackets, limitBytes: limitBytes, policy: policy}
+	cap := limitPackets
+	if cap == 0 {
+		// Byte-limited only: start small and grow on demand.
+		cap = 64
+	}
+	return &Queue{
+		limitPackets: limitPackets,
+		limitBytes:   limitBytes,
+		policy:       policy,
+		buf:          make([]*Packet, cap),
+	}
 }
 
 // SetECNThreshold enables ECN marking: ECN-capable packets arriving when the
@@ -81,7 +97,7 @@ func (q *Queue) SetECNThreshold(thresholdPackets int) {
 }
 
 // Len returns the number of queued packets.
-func (q *Queue) Len() int { return len(q.pkts) }
+func (q *Queue) Len() int { return q.count }
 
 // Bytes returns the number of queued bytes.
 func (q *Queue) Bytes() int { return q.bytes }
@@ -93,7 +109,7 @@ func (q *Queue) Stats() QueueStats { return q.stats }
 func (q *Queue) Policy() DropPolicy { return q.policy }
 
 func (q *Queue) wouldOverflow(p *Packet) bool {
-	if q.limitPackets > 0 && len(q.pkts)+1 > q.limitPackets {
+	if q.limitPackets > 0 && q.count+1 > q.limitPackets {
 		return true
 	}
 	if q.limitBytes > 0 && q.bytes+p.Size > q.limitBytes {
@@ -102,10 +118,48 @@ func (q *Queue) wouldOverflow(p *Packet) bool {
 	return false
 }
 
+// popHead removes and returns the oldest packet without touching statistics.
+// The caller guarantees the queue is non-empty.
+func (q *Queue) popHead() *Packet {
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
+	q.count--
+	q.bytes -= p.Size
+	return p
+}
+
+// pushTail appends the packet, growing the ring if it is full (only possible
+// for byte-limited queues, whose packet count is unbounded).
+func (q *Queue) pushTail(p *Packet) {
+	if q.count == len(q.buf) {
+		grown := make([]*Packet, 2*len(q.buf))
+		n := copy(grown, q.buf[q.head:])
+		copy(grown[n:], q.buf[:q.head])
+		q.buf = grown
+		q.head = 0
+	}
+	tail := q.head + q.count
+	if tail >= len(q.buf) {
+		tail -= len(q.buf)
+	}
+	q.buf[tail] = p
+	q.count++
+	q.bytes += p.Size
+}
+
 // Enqueue appends the packet, applying the drop policy on overflow. It
 // returns the dropped packet (which may be the argument itself under
 // drop-tail, or an older packet under drop-head) or nil if nothing was
 // dropped.
+//
+// A drop-head overflow on a byte-limited queue can evict several packets to
+// admit one large arrival; only the last victim is returned, and the queue
+// releases the earlier ones back to the pool itself (they are still counted
+// in DroppedPackets/DroppedBytes).
 func (q *Queue) Enqueue(p *Packet) (dropped *Packet) {
 	if p == nil {
 		panic("netsim: Enqueue(nil)")
@@ -113,7 +167,7 @@ func (q *Queue) Enqueue(p *Packet) (dropped *Packet) {
 	// ECN marking happens on arrival based on current occupancy, before any
 	// drop decision, so marked packets still convey congestion when the
 	// queue later drains.
-	if q.ecnThresholdPackets > 0 && p.ECT && len(q.pkts) >= q.ecnThresholdPackets {
+	if q.ecnThresholdPackets > 0 && p.ECT && q.count >= q.ecnThresholdPackets {
 		if !p.CE {
 			p.CE = true
 			q.stats.ECNMarked++
@@ -122,27 +176,28 @@ func (q *Queue) Enqueue(p *Packet) (dropped *Packet) {
 	for q.wouldOverflow(p) {
 		switch q.policy {
 		case DropHead:
-			if len(q.pkts) == 0 {
+			if q.count == 0 {
 				// The arriving packet alone exceeds the byte limit.
+				dropped.Release()
 				q.recordDrop(p)
 				return p
 			}
-			victim := q.pkts[0]
-			q.pkts = q.pkts[1:]
-			q.bytes -= victim.Size
+			victim := q.popHead()
 			q.recordDrop(victim)
+			// Multiple evictions for one arrival: only the final victim is
+			// handed to the caller, so release the superseded one here.
+			dropped.Release()
 			dropped = victim
 		default: // DropTail
 			q.recordDrop(p)
 			return p
 		}
 	}
-	q.pkts = append(q.pkts, p)
-	q.bytes += p.Size
+	q.pushTail(p)
 	q.stats.EnqueuedPackets++
 	q.stats.EnqueuedBytes += int64(p.Size)
-	if len(q.pkts) > q.stats.MaxDepthPackets {
-		q.stats.MaxDepthPackets = len(q.pkts)
+	if q.count > q.stats.MaxDepthPackets {
+		q.stats.MaxDepthPackets = q.count
 	}
 	if q.bytes > q.stats.MaxDepthBytes {
 		q.stats.MaxDepthBytes = q.bytes
@@ -158,13 +213,10 @@ func (q *Queue) recordDrop(p *Packet) {
 // Dequeue removes and returns the oldest packet, or nil if the queue is
 // empty.
 func (q *Queue) Dequeue() *Packet {
-	if len(q.pkts) == 0 {
+	if q.count == 0 {
 		return nil
 	}
-	p := q.pkts[0]
-	q.pkts[0] = nil
-	q.pkts = q.pkts[1:]
-	q.bytes -= p.Size
+	p := q.popHead()
 	q.stats.DequeuedPackets++
 	q.stats.DequeuedBytes += int64(p.Size)
 	return p
@@ -172,8 +224,8 @@ func (q *Queue) Dequeue() *Packet {
 
 // Peek returns the oldest packet without removing it, or nil if empty.
 func (q *Queue) Peek() *Packet {
-	if len(q.pkts) == 0 {
+	if q.count == 0 {
 		return nil
 	}
-	return q.pkts[0]
+	return q.buf[q.head]
 }

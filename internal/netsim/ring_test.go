@@ -1,0 +1,264 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+func pkt(size int) *Packet {
+	return &Packet{Proto: ProtoUDP, Src: Addr{Host: "a", Port: 1}, Dst: Addr{Host: "b", Port: 2}, Size: size}
+}
+
+// The ring must wrap cleanly: interleave enqueues and dequeues so head walks
+// around the backing array several times, and verify strict FIFO order.
+func TestQueueRingWraparoundFIFO(t *testing.T) {
+	q := NewQueue(4, 0, DropTail)
+	next := 0     // next packet id to enqueue
+	expected := 0 // next packet id we expect to dequeue
+	enq := func(n int) {
+		for i := 0; i < n; i++ {
+			p := pkt(100)
+			p.ChargeBytes = next // tag with id
+			next++
+			if dropped := q.Enqueue(p); dropped != nil {
+				t.Fatalf("unexpected drop of packet %d", p.ChargeBytes)
+			}
+		}
+	}
+	deq := func(n int) {
+		for i := 0; i < n; i++ {
+			p := q.Dequeue()
+			if p == nil {
+				t.Fatalf("Dequeue returned nil, expected packet %d", expected)
+			}
+			if p.ChargeBytes != expected {
+				t.Fatalf("Dequeue order: got packet %d, want %d", p.ChargeBytes, expected)
+			}
+			expected++
+		}
+	}
+	// Drive head around the 4-slot ring many times with varying occupancy.
+	enq(3)
+	deq(2)
+	enq(3) // wraps: tail passes the end of the array
+	deq(4)
+	for round := 0; round < 10; round++ {
+		enq(4) // fill completely
+		deq(3)
+		enq(2)
+		deq(3) // drain completely
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len() = %d after balanced interleaving, want 0", q.Len())
+	}
+	if q.Dequeue() != nil {
+		t.Fatal("Dequeue on empty ring should return nil")
+	}
+}
+
+// A byte-limited queue has no packet bound, so the ring must grow while
+// preserving FIFO order, including when the contents wrap the old array.
+func TestQueueRingGrowthPreservesOrder(t *testing.T) {
+	q := NewQueue(0, 1<<20, DropTail)
+	// Advance head so the ring is wrapped when growth happens.
+	for i := 0; i < 48; i++ {
+		if d := q.Enqueue(pkt(10)); d != nil {
+			t.Fatal("unexpected drop")
+		}
+	}
+	for i := 0; i < 48; i++ {
+		if q.Dequeue() == nil {
+			t.Fatal("unexpected empty")
+		}
+	}
+	// Now fill beyond the initial 64-slot capacity.
+	const n = 300
+	for i := 0; i < n; i++ {
+		p := pkt(10)
+		p.ChargeBytes = i
+		if d := q.Enqueue(p); d != nil {
+			t.Fatalf("unexpected drop at %d", i)
+		}
+	}
+	if q.Len() != n {
+		t.Fatalf("Len() = %d, want %d", q.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		p := q.Dequeue()
+		if p == nil || p.ChargeBytes != i {
+			t.Fatalf("growth broke FIFO at %d: %+v", i, p)
+		}
+	}
+}
+
+// Drop-head under wraparound: victims must come off the logical head.
+func TestQueueRingDropHeadWrapped(t *testing.T) {
+	q := NewQueue(3, 0, DropHead)
+	// Wrap the ring first.
+	q.Enqueue(pkt(1))
+	q.Enqueue(pkt(1))
+	q.Dequeue()
+	q.Dequeue()
+	for i := 0; i < 3; i++ {
+		p := pkt(1)
+		p.ChargeBytes = i
+		q.Enqueue(p)
+	}
+	p := pkt(1)
+	p.ChargeBytes = 99
+	dropped := q.Enqueue(p)
+	if dropped == nil || dropped.ChargeBytes != 0 {
+		t.Fatalf("drop-head victim = %+v, want the oldest (id 0)", dropped)
+	}
+	if got := q.Dequeue(); got == nil || got.ChargeBytes != 1 {
+		t.Fatalf("head after drop = %+v, want id 1", got)
+	}
+}
+
+// Enqueue/transmit/deliver of pooled packets over a link must not allocate in
+// steady state: events come from the scheduler freelist, packets cycle
+// through the pool, and the ring buffer never reallocates.
+func TestPooledPacketPathZeroAlloc(t *testing.T) {
+	sched := simtime.NewScheduler()
+	sink := ReceiverFunc(func(p *Packet) { p.Release() })
+	l := NewLink(sched, LinkConfig{Bandwidth: 10 * Mbps, Delay: time.Millisecond, QueuePackets: 64}, sink)
+	send := func() {
+		p := NewPacket()
+		p.Proto = ProtoUDP
+		p.Src = Addr{Host: "a", Port: 1}
+		p.Dst = Addr{Host: "b", Port: 2}
+		p.Size = 1000
+		if !l.Send(p) {
+			t.Fatal("send failed")
+		}
+		sched.Run()
+	}
+	// Warm the pool, the event freelist and the heap backing array.
+	for i := 0; i < 64; i++ {
+		send()
+	}
+	allocs := testing.AllocsPerRun(500, send)
+	if allocs != 0 {
+		t.Fatalf("pooled enqueue/transmit/deliver allocated %.1f objects per op, want 0", allocs)
+	}
+}
+
+// Released packets must be reused by NewPacket and arrive zeroed.
+func TestPacketPoolReuseResetsState(t *testing.T) {
+	p := NewPacket()
+	p.Proto = ProtoTCP
+	p.Size = 1234
+	p.CE = true
+	p.Payload = "payload"
+	p.Release()
+	q := NewPacket()
+	if q.Proto != 0 || q.Size != 0 || q.CE || q.Payload != nil {
+		t.Fatalf("reused packet not reset: %+v", q)
+	}
+	// Double release must be a no-op.
+	q.Release()
+	q.Release()
+	// Literal packets are never pooled.
+	lit := pkt(1)
+	lit.Release() // no-op
+	if lit.Size != 1 {
+		t.Fatal("Release corrupted an unpooled packet")
+	}
+}
+
+// A single large arrival can evict several head victims from a byte-limited
+// drop-head queue; the queue must release the superseded victims to the pool
+// itself and hand the caller only the last one, still pooled.
+func TestQueueDropHeadMultiVictimReleases(t *testing.T) {
+	q := NewQueue(0, 1500, DropHead)
+	victims := make([]*Packet, 3)
+	for i := range victims {
+		victims[i] = NewPacket()
+		victims[i].Size = 500
+		if d := q.Enqueue(victims[i]); d != nil {
+			t.Fatal("unexpected drop while filling")
+		}
+	}
+	big := NewPacket()
+	big.Size = 1400
+	dropped := q.Enqueue(big)
+	if dropped != victims[2] {
+		t.Fatalf("returned victim = %p, want the last evicted (%p)", dropped, victims[2])
+	}
+	if victims[0].pooled || victims[1].pooled {
+		t.Fatal("superseded victims were not released to the pool")
+	}
+	if !dropped.pooled {
+		t.Fatal("returned victim must still be owned by the caller")
+	}
+	dropped.Release()
+	if got := q.Stats().DroppedPackets; got != 3 {
+		t.Fatalf("DroppedPackets = %d, want 3", got)
+	}
+	if q.Len() != 1 || q.Bytes() != 1400 {
+		t.Fatalf("queue holds %d pkts / %d bytes, want 1 / 1400", q.Len(), q.Bytes())
+	}
+	// Arrival alone exceeding the limit: earlier victims are released, the
+	// arriving packet itself is returned.
+	q2 := NewQueue(0, 1000, DropHead)
+	small := NewPacket()
+	small.Size = 600
+	q2.Enqueue(small)
+	huge := NewPacket()
+	huge.Size = 5000
+	if d := q2.Enqueue(huge); d != huge {
+		t.Fatalf("oversized arrival should be returned, got %p", d)
+	}
+	if small.pooled {
+		t.Fatal("evicted packet not released when arrival alone overflows")
+	}
+}
+
+// Regression: with a receiver that releases packets (as node.Host does), a
+// duplicated delivery must carry the original payload — the clone has to be
+// taken before the first hand-up can release the packet to the pool.
+func TestDuplicateDeliveryWithReleasingReceiver(t *testing.T) {
+	sched := simtime.NewScheduler()
+	var payloads []any
+	sink := ReceiverFunc(func(p *Packet) {
+		payloads = append(payloads, p.Payload)
+		p.Release()
+	})
+	l := NewLink(sched, LinkConfig{Bandwidth: 10 * Mbps, DuplicateRate: 1.0, QueuePackets: 8}, sink)
+	p := NewPacket()
+	p.Size = 100
+	p.Payload = "DATA"
+	if !l.Send(p) {
+		t.Fatal("send failed")
+	}
+	sched.Run()
+	if len(payloads) != 2 {
+		t.Fatalf("delivered %d packets, want 2 (original + duplicate)", len(payloads))
+	}
+	for i, pl := range payloads {
+		if pl != "DATA" {
+			t.Fatalf("delivery %d carried payload %v, want DATA", i, pl)
+		}
+	}
+	if l.Stats().Duplicated != 1 {
+		t.Fatalf("Duplicated = %d, want 1", l.Stats().Duplicated)
+	}
+}
+
+// BenchmarkLinkTransmitDeliver measures the full pooled per-packet path:
+// allocate from pool, enqueue, serialise, deliver, release.
+func BenchmarkLinkTransmitDeliver(b *testing.B) {
+	sched := simtime.NewScheduler()
+	sink := ReceiverFunc(func(p *Packet) { p.Release() })
+	l := NewLink(sched, LinkConfig{Bandwidth: 100 * Mbps, Delay: time.Millisecond, QueuePackets: 64}, sink)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := NewPacket()
+		p.Size = 1500
+		l.Send(p)
+		sched.Run()
+	}
+}

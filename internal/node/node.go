@@ -166,6 +166,7 @@ func (h *Host) Output(pkt *netsim.Packet) bool {
 	link := h.RouteTo(pkt.Dst.Host)
 	if link == nil {
 		h.stats.NoRouteDrops++
+		pkt.Release()
 		return false
 	}
 	// The paper modifies ip_output to call cm_notify(flowid, nsent) on each
@@ -186,22 +187,26 @@ func (h *Host) Output(pkt *netsim.Packet) bool {
 }
 
 // Receive implements netsim.Receiver: it demultiplexes an arriving packet to
-// the most specific binding (connected first, then wildcard listener).
+// the most specific binding (connected first, then wildcard listener). The
+// host is the end of a packet's life: once the handler returns (handlers keep
+// the payload, never the packet) the packet is released back to the pool.
 func (h *Host) Receive(pkt *netsim.Packet) {
 	h.stats.ReceivedPackets++
 	h.stats.ReceivedBytes += int64(pkt.Size)
 	h.stats.LastReceived = h.sched.Now()
 	k := bindingKey{proto: pkt.Proto, localPort: pkt.Dst.Port, remoteHost: pkt.Src.Host, remotePort: pkt.Src.Port}
-	if hd, ok := h.bindings[k]; ok {
-		hd.Handle(pkt)
+	hd, ok := h.bindings[k]
+	if !ok {
+		k = bindingKey{proto: pkt.Proto, localPort: pkt.Dst.Port}
+		hd, ok = h.bindings[k]
+	}
+	if !ok {
+		h.stats.NoListenerDrops++
+		pkt.Release()
 		return
 	}
-	k = bindingKey{proto: pkt.Proto, localPort: pkt.Dst.Port}
-	if hd, ok := h.bindings[k]; ok {
-		hd.Handle(pkt)
-		return
-	}
-	h.stats.NoListenerDrops++
+	hd.Handle(pkt)
+	pkt.Release()
 }
 
 var _ netsim.Receiver = (*Host)(nil)

@@ -277,17 +277,17 @@ func (e *Endpoint) mss() int { return e.cfg.MSS }
 // ---------- segment construction and transmission ----------
 
 func (e *Endpoint) basePacket(seg *Segment, control bool) *netsim.Packet {
-	return &netsim.Packet{
-		Proto:   netsim.ProtoTCP,
-		Src:     e.local,
-		Dst:     e.remote,
-		Size:    wireSize(seg),
-		Payload: seg,
-		Control: control,
-		// The CM is charged in payload bytes so that cm_notify matches the
-		// payload-byte feedback TCP reports with cm_update.
-		ChargeBytes: seg.Len,
-	}
+	pkt := netsim.NewPacket()
+	pkt.Proto = netsim.ProtoTCP
+	pkt.Src = e.local
+	pkt.Dst = e.remote
+	pkt.Size = wireSize(seg)
+	pkt.Payload = seg
+	pkt.Control = control
+	// The CM is charged in payload bytes so that cm_notify matches the
+	// payload-byte feedback TCP reports with cm_update.
+	pkt.ChargeBytes = seg.Len
+	return pkt
 }
 
 func (e *Endpoint) sendSYN(synAck bool) {

@@ -83,15 +83,14 @@ func (s *Socket) SendTo(dst netsim.Addr, d *Datagram) bool {
 		panic("udp: SendTo(nil)")
 	}
 	d.SentAt = s.host.Clock().Now()
-	pkt := &netsim.Packet{
-		Proto:       netsim.ProtoUDP,
-		Src:         s.local,
-		Dst:         dst,
-		Size:        wireSize(d),
-		Payload:     d,
-		Control:     s.control,
-		ChargeBytes: d.Size,
-	}
+	pkt := netsim.NewPacket()
+	pkt.Proto = netsim.ProtoUDP
+	pkt.Src = s.local
+	pkt.Dst = dst
+	pkt.Size = wireSize(d)
+	pkt.Payload = d
+	pkt.Control = s.control
+	pkt.ChargeBytes = d.Size
 	s.sentPackets++
 	s.sentBytes += int64(d.Size)
 	return s.host.Output(pkt)
