@@ -1,130 +1,179 @@
-// Command cmsim runs a single configurable bulk-transfer simulation and
-// prints throughput and protocol statistics. It is the "one-off experiment"
-// tool: pick a bandwidth, delay, loss rate and congestion-control variant and
-// see how the transfer behaves.
+// Command cmsim runs simulation scenarios: either a named scenario from the
+// registry (multi-hop topologies with routed forwarding) or an ad-hoc
+// point-to-point bulk transfer described by flags.
 //
-// Example:
+// Scenario mode:
+//
+//	cmsim -list                                  # print the catalogue
+//	cmsim -scenario dumbbell                     # run one scenario
+//	cmsim -scenario dumbbell,star -parallel 4    # run a batch across workers
+//	cmsim -scenario dumbbell -runs 8 -parallel 8 # replicate for determinism checks
+//	cmsim -scenario dumbbell -json               # machine-readable results
+//
+// Legacy point-to-point mode (no -scenario):
 //
 //	cmsim -bw 10e6 -rtt 60ms -loss 1 -cc cm -bytes 2000000
+//
+// Every simulation owns its scheduler and seeded random sources, so a batch
+// produces byte-identical results whether -parallel is 1 or 8.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
-	"repro/internal/cm"
 	"repro/internal/netsim"
-	"repro/internal/node"
-	"repro/internal/simtime"
-	"repro/internal/tcp"
+	"repro/internal/scenario"
 )
 
 func main() {
 	var (
-		bw       = flag.Float64("bw", 10e6, "bottleneck bandwidth in bits/second")
-		rtt      = flag.Duration("rtt", 60*time.Millisecond, "round-trip propagation delay")
-		lossPct  = flag.Float64("loss", 0, "random loss rate in percent")
-		queue    = flag.Int("queue", 120, "bottleneck queue length in packets")
-		ccName   = flag.String("cc", "cm", "congestion control: cm or native")
-		bytes    = flag.Int("bytes", 2_000_000, "transfer size in bytes")
-		flows    = flag.Int("flows", 1, "number of concurrent connections (all to the same receiver)")
-		seed     = flag.Int64("seed", 1, "random seed for the loss process")
-		deadline = flag.Duration("deadline", time.Hour, "virtual-time deadline")
+		list     = flag.Bool("list", false, "print the registered scenarios and exit")
+		names    = flag.String("scenario", "", "comma-separated scenario names to run (see -list)")
+		parallel = flag.Int("parallel", 1, "worker goroutines for the batch (0 = GOMAXPROCS)")
+		runs     = flag.Int("runs", 1, "replicas of each scenario (for determinism and sweep checks)")
+		jsonOut  = flag.Bool("json", false, "emit results as JSON")
+
+		bw       = flag.Float64("bw", 10e6, "legacy mode: bottleneck bandwidth in bits/second")
+		rtt      = flag.Duration("rtt", 60*time.Millisecond, "legacy mode: round-trip propagation delay")
+		lossPct  = flag.Float64("loss", 0, "legacy mode: random loss rate in percent")
+		queue    = flag.Int("queue", 120, "legacy mode: bottleneck queue length in packets")
+		ccName   = flag.String("cc", "cm", "legacy mode: congestion control (cm or native)")
+		bytes    = flag.Int("bytes", 2_000_000, "legacy mode: transfer size in bytes")
+		flows    = flag.Int("flows", 1, "legacy mode: concurrent connections to one receiver")
+		seed     = flag.Int64("seed", 1, "legacy mode: random seed for the loss process")
+		deadline = flag.Duration("deadline", time.Hour, "legacy mode: virtual-time deadline")
 	)
 	flag.Parse()
 
-	var ccMode tcp.CongestionControl
-	switch *ccName {
+	if *list {
+		for _, name := range scenario.List() {
+			fmt.Printf("%-18s %s\n", name, scenario.Describe(name))
+		}
+		return
+	}
+
+	if *runs < 1 {
+		*runs = 1
+	}
+	var specs []scenario.Spec
+	if *names != "" {
+		for _, name := range strings.Split(*names, ",") {
+			name = strings.TrimSpace(name)
+			spec, err := scenario.Lookup(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			for r := 0; r < *runs; r++ {
+				specs = append(specs, spec)
+			}
+		}
+	} else {
+		spec, err := legacySpec(*ccName, *bw, *rtt, *lossPct, *queue, *bytes, *flows, *seed, *deadline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		for r := 0; r < *runs; r++ {
+			specs = append(specs, spec)
+		}
+	}
+
+	outcomes := scenario.Runner{Parallel: *parallel}.RunAll(specs)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(outcomes); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		for i, o := range outcomes {
+			if i > 0 {
+				fmt.Println()
+			}
+			printResult(o)
+		}
+	}
+	for _, o := range outcomes {
+		if o.Err != "" {
+			os.Exit(1)
+		}
+	}
+}
+
+// legacySpec maps the original cmsim flags onto a point-to-point scenario.
+func legacySpec(cc string, bw float64, rtt time.Duration, lossPct float64, queue, bytes, flows int, seed int64, deadline time.Duration) (scenario.Spec, error) {
+	var ccMode string
+	switch cc {
 	case "cm":
-		ccMode = tcp.CCCM
+		ccMode = scenario.CCCM
 	case "native":
-		ccMode = tcp.CCNative
+		ccMode = scenario.CCNative
 	default:
-		fmt.Fprintf(os.Stderr, "unknown -cc %q (want cm or native)\n", *ccName)
-		os.Exit(2)
+		return scenario.Spec{}, fmt.Errorf("unknown -cc %q (want cm or native)", cc)
 	}
+	return scenario.PointToPoint(scenario.PointToPointParams{
+		Link: netsim.LinkConfig{
+			Bandwidth:    netsim.Bandwidth(bw),
+			Delay:        rtt / 2,
+			LossRate:     lossPct / 100,
+			QueuePackets: queue,
+			Seed:         seed,
+		},
+		Workloads: []scenario.Workload{{
+			Kind:  scenario.KindBulk,
+			From:  "sender",
+			To:    "receiver",
+			Flows: flows,
+			Bytes: bytes,
+			CC:    ccMode,
+		}},
+		Duration: deadline,
+		Seed:     seed,
+	}), nil
+}
 
-	sched := simtime.NewScheduler()
-	net := node.NewNetwork(sched)
-	net.ConnectDuplex("sender", "receiver", netsim.LinkConfig{
-		Bandwidth:    netsim.Bandwidth(*bw),
-		Delay:        *rtt / 2,
-		LossRate:     *lossPct / 100,
-		QueuePackets: *queue,
-		Seed:         *seed,
-	})
-	var cmgr *cm.CM
-	if ccMode == tcp.CCCM {
-		cmgr = cm.New(sched, sched)
-		net.Host("sender").SetTransmitNotifier(cmgr)
+// printResult renders one outcome for the terminal.
+func printResult(o scenario.RunOutcome) {
+	if o.Err != "" {
+		fmt.Printf("error: %s\n", o.Err)
+		return
 	}
-
-	type conn struct {
-		ep        *tcp.Endpoint
-		delivered int64
-		started   time.Duration
-		finished  time.Duration
-	}
-	conns := make([]*conn, *flows)
-	for i := 0; i < *flows; i++ {
-		i := i
-		port := 5000 + i
-		c := &conn{}
-		conns[i] = c
-		_, err := tcp.Listen(net.Host("receiver"), port, tcp.Config{DelayedAck: true, RecvWindow: 1 << 20}, func(ep *tcp.Endpoint) {
-			ep.OnReceive(func(n int) { c.delivered += int64(n) })
-			ep.OnClosed(func() { c.finished = sched.Now() })
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		cfg := tcp.Config{CongestionControl: ccMode, CM: cmgr, DelayedAck: true, RecvWindow: 1 << 20}
-		ep, err := tcp.Dial(net.Host("sender"), netsim.Addr{Host: "receiver", Port: port}, cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		c.ep = ep
-		ep.OnEstablished(func() {
-			c.started = sched.Now()
-			ep.Send(*bytes)
-			ep.Close()
-		})
-	}
-
-	sched.RunUntil(*deadline)
-
-	fmt.Printf("configuration: %s, %.0f bps, RTT %v, loss %.2f%%, %d flow(s), %d bytes each\n",
-		ccMode, *bw, *rtt, *lossPct, *flows, *bytes)
-	var totalBytes int64
-	var lastFinish time.Duration
-	for i, c := range conns {
-		st := c.ep.Stats()
-		elapsed := c.finished - c.started
+	r := o.Result
+	fmt.Printf("scenario %s: %d flow(s), virtual time %v\n", r.Scenario, len(r.Flows), r.EndTime.Round(time.Millisecond))
+	for _, f := range r.Flows {
 		status := "ok"
-		if c.finished == 0 || c.delivered < int64(*bytes) {
-			status = "INCOMPLETE"
-			elapsed = sched.Now() - c.started
+		if !f.Completed {
+			status = "incomplete"
 		}
-		throughput := float64(c.delivered) / elapsed.Seconds() / 1024
-		fmt.Printf("flow %d: %s delivered=%d elapsed=%v throughput=%.0f KB/s rtx=%d timeouts=%d srtt=%v\n",
-			i, status, c.delivered, elapsed.Round(time.Millisecond), throughput,
-			st.Retransmissions, st.Timeouts, st.SRTT.Round(time.Millisecond))
-		totalBytes += c.delivered
-		if c.finished > lastFinish {
-			lastFinish = c.finished
+		fmt.Printf("  flow %d.%d %s->%s:%d [%s] %s delivered=%d elapsed=%v throughput=%.0f KB/s rtx=%d timeouts=%d srtt=%v\n",
+			f.Workload, f.Flow, f.From, f.To, f.Port, f.CC, status,
+			f.Delivered, f.Elapsed.Round(time.Millisecond), f.ThroughputKBps,
+			f.Retransmissions, f.Timeouts, f.SRTT.Round(time.Millisecond))
+	}
+	for _, l := range r.Links {
+		if l.SentPackets == 0 {
+			continue
 		}
+		fmt.Printf("  link %s: sent=%d drops(queue/random)=%d/%d delivered=%dB\n",
+			l.Name, l.SentPackets, l.QueueDrops, l.RandomDrops, l.DeliveredOctets)
 	}
-	if lastFinish > 0 {
-		fmt.Printf("aggregate: %d bytes in %v (%.0f KB/s)\n",
-			totalBytes, lastFinish.Round(time.Millisecond), float64(totalBytes)/lastFinish.Seconds()/1024)
+	for _, h := range r.Hosts {
+		if !h.Router {
+			continue
+		}
+		fmt.Printf("  router %s: forwarded=%d (%dB) route-miss=%d ttl-expired=%d\n",
+			h.Name, h.ForwardedPackets, h.ForwardedBytes, h.RouteMissDrops, h.TTLExpiredDrops)
 	}
-	if cmgr != nil {
-		acct := cmgr.Accounting()
-		fmt.Printf("cm: %d macroflow(s), %d grants, %d updates, %d notifies, %d queries\n",
-			cmgr.MacroflowCount(), acct.GrantsIssued, acct.Updates, acct.Notifies, acct.Queries)
+	for _, c := range r.CMs {
+		fmt.Printf("  cm %s: %d macroflow(s), %d flows, %d grants, %d updates, %d notifies, %d queries\n",
+			c.Host, c.Macroflows, c.Flows, c.GrantsIssued, c.Updates, c.Notifies, c.Queries)
 	}
 }

@@ -94,7 +94,7 @@ func RunAdaptation(cfg AdaptationConfig) AdaptationResult {
 		QueuePackets: 150,
 		Seed:         cfg.Seed,
 	}
-	w := newWorld(path, true)
+	w := newTestbed(path, true)
 	lib := libcm.New(w.cm, w.sched, libcm.ModeAuto)
 
 	client, err := app.NewLayeredClient(w.rcvr, 7000, cfg.Feedback, cfg.TraceWindow)

@@ -13,6 +13,7 @@ import (
 	"repro/internal/cm"
 	"repro/internal/netsim"
 	"repro/internal/node"
+	"repro/internal/scenario"
 	"repro/internal/simtime"
 	"repro/internal/tcp"
 )
@@ -49,40 +50,55 @@ func vbnsPath(seed int64) Path {
 	return Path{Bandwidth: 20 * netsim.Mbps, OneWayDelay: 35 * time.Millisecond, QueuePackets: 150, Seed: seed}
 }
 
-// world is a two-host topology with an optional Congestion Manager on the
-// sender.
-type world struct {
+// spec returns the declarative point-to-point scenario for the path: the
+// sender<->receiver topology every experiment in the paper's evaluation
+// (§4) runs on.
+func (p Path) spec(withCM bool, cmOpts ...cm.Option) scenario.Spec {
+	spec := scenario.PointToPoint(scenario.PointToPointParams{
+		Link: netsim.LinkConfig{
+			Bandwidth:    p.Bandwidth,
+			Delay:        p.OneWayDelay,
+			LossRate:     p.LossRate,
+			QueuePackets: p.QueuePackets,
+			Seed:         p.Seed,
+		},
+		WithCM: withCM,
+		Seed:   p.Seed,
+	})
+	spec.CMOpts = cmOpts
+	return spec
+}
+
+// testbed is an experiment's view of a built scenario: the two-host topology
+// with an optional Congestion Manager on the sender. Every runner constructs
+// its topology through the scenario engine and attaches its workload (bulk
+// transfers, file servers, layered streams) programmatically.
+type testbed struct {
+	sim    *scenario.Sim
 	sched  *simtime.Scheduler
-	net    *node.Network
-	duplex *netsim.Duplex
 	cm     *cm.CM
 	sender *node.Host
 	rcvr   *node.Host
 }
 
-// newWorld builds sender<->receiver joined by the path. withCM installs a
-// Congestion Manager (and the IP notify hook) on the sender.
-func newWorld(p Path, withCM bool, cmOpts ...cm.Option) *world {
-	s := simtime.NewScheduler()
-	nw := node.NewNetwork(s)
-	d := nw.ConnectDuplex("sender", "receiver", netsim.LinkConfig{
-		Bandwidth:    p.Bandwidth,
-		Delay:        p.OneWayDelay,
-		LossRate:     p.LossRate,
-		QueuePackets: p.QueuePackets,
-		Seed:         p.Seed,
-	})
-	w := &world{sched: s, net: nw, duplex: d, sender: nw.Host("sender"), rcvr: nw.Host("receiver")}
-	if withCM {
-		w.cm = cm.New(s, s, cmOpts...)
-		w.sender.SetTransmitNotifier(w.cm)
+// newTestbed builds sender<->receiver joined by the path through the
+// scenario engine. withCM installs a Congestion Manager (and the IP notify
+// hook) on the sender.
+func newTestbed(p Path, withCM bool, cmOpts ...cm.Option) *testbed {
+	sim := scenario.MustBuild(p.spec(withCM, cmOpts...))
+	w := &testbed{
+		sim:    sim,
+		sched:  sim.Scheduler(),
+		cm:     sim.CM("sender"),
+		sender: sim.Host("sender"),
+		rcvr:   sim.Host("receiver"),
 	}
 	return w
 }
 
 // senderTCPConfig returns the tcp.Config for the data sender under the given
 // congestion-control variant.
-func (w *world) senderTCPConfig(cc tcp.CongestionControl) tcp.Config {
+func (w *testbed) senderTCPConfig(cc tcp.CongestionControl) tcp.Config {
 	cfg := tcp.Config{CongestionControl: cc, DelayedAck: true, RecvWindow: 1 << 20}
 	if cc == tcp.CCCM {
 		cfg.CM = w.cm
@@ -97,7 +113,7 @@ func (w *world) senderTCPConfig(cc tcp.CongestionControl) tcp.Config {
 // advertised window (0 uses 1 MB); the Figure 4 LAN experiment uses the
 // 64 KB default socket buffer of the paper's era so the flow is
 // window-limited rather than queue-overflow-limited, as on the real testbed.
-func (w *world) bulkTransfer(cc tcp.CongestionControl, n int, port int, deadline time.Duration, recvWindow int) (time.Duration, *tcp.Endpoint, error) {
+func (w *testbed) bulkTransfer(cc tcp.CongestionControl, n int, port int, deadline time.Duration, recvWindow int) (time.Duration, *tcp.Endpoint, error) {
 	if recvWindow <= 0 {
 		recvWindow = 1 << 20
 	}

@@ -67,7 +67,7 @@ func RunFairness(cfg FairnessConfig) FairnessResult {
 // independent competitor, lets them run for the configured duration and
 // returns the ensemble's share of the delivered bytes.
 func fairnessRun(cfg FairnessConfig, ensembleUsesCM bool) float64 {
-	w := newWorld(cfg.Path, ensembleUsesCM)
+	w := newTestbed(cfg.Path, ensembleUsesCM)
 
 	startFlow := func(port int, cc tcp.CongestionControl) *int64 {
 		delivered := new(int64)

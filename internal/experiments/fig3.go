@@ -88,7 +88,7 @@ func RunFig3(cfg Fig3Config) Fig3Result {
 }
 
 func fig3Run(cc tcp.CongestionControl, lossPct float64, seed int64, cfg Fig3Config) (float64, bool) {
-	w := newWorld(dummynetWAN(lossPct, seed), cc == tcp.CCCM)
+	w := newTestbed(dummynetWAN(lossPct, seed), cc == tcp.CCCM)
 	elapsed, _, err := w.bulkTransfer(cc, cfg.TransferBytes, 5001, cfg.Deadline, 256*1024)
 	if err != nil || elapsed <= 0 {
 		return 0, false

@@ -68,7 +68,7 @@ func RunFig4(cfg Fig4Config) Fig4Result {
 }
 
 func fig4Run(cc tcp.CongestionControl, bytes int, deadline time.Duration) float64 {
-	w := newWorld(testbedLAN(), cc == tcp.CCCM)
+	w := newTestbed(testbedLAN(), cc == tcp.CCCM)
 	// The paper's ttcp runs used the era's default socket buffers (64 KB);
 	// the flow is receiver-window-limited on the LAN, which is what lets
 	// both stacks saturate the link with no queue-overflow losses.

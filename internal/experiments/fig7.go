@@ -72,18 +72,18 @@ func RunFig7(cfg Fig7Config) Fig7Result {
 }
 
 func fig7Run(cc tcp.CongestionControl, cfg Fig7Config) []float64 {
-	w := newWorld(vbnsPath(41), cc == tcp.CCCM)
-	return fig7RunInWorld(w, cc, cfg)
+	w := newTestbed(vbnsPath(41), cc == tcp.CCCM)
+	return fig7RunInTestbed(w, cc, cfg)
 }
 
-// newFileServer starts the Figure 7 file server on the world's sender host.
-func newFileServer(w *world, serverCfg tcp.Config, fileSize int) (*app.FileServer, error) {
+// newFileServer starts the Figure 7 file server on the testbed's sender host.
+func newFileServer(w *testbed, serverCfg tcp.Config, fileSize int) (*app.FileServer, error) {
 	return app.NewFileServer(w.sender, 80, fileSize, serverCfg)
 }
 
-// runFetches performs the sequential retrievals from the world's receiver
+// runFetches performs the sequential retrievals from the testbed's receiver
 // host and returns the per-request completion times in milliseconds.
-func runFetches(w *world, cfg Fig7Config) []float64 {
+func runFetches(w *testbed, cfg Fig7Config) []float64 {
 	client := app.NewFetchClient(w.rcvr, netsim.Addr{Host: "sender", Port: 80}, 200,
 		tcp.Config{DelayedAck: true, RecvWindow: 1 << 20})
 	var results []app.FetchResult

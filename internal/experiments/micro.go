@@ -23,7 +23,7 @@ type ConnSetupResult struct {
 // testbed LAN for both configurations.
 func RunConnSetup() ConnSetupResult {
 	measure := func(cc tcp.CongestionControl) time.Duration {
-		w := newWorld(testbedLAN(), cc == tcp.CCCM)
+		w := newTestbed(testbedLAN(), cc == tcp.CCCM)
 		if _, err := tcp.Listen(w.rcvr, 80, tcp.Config{}, nil); err != nil {
 			return 0
 		}
@@ -65,8 +65,8 @@ func RunAblationInitialWindow() AblationInitialWindowResult {
 		cfg := Fig7Config{Requests: 1}
 		cfg.fillDefaults()
 		cfg.Requests = 1
-		w := newWorld(vbnsPath(43), true, cm.WithInitialWindow(iw))
-		times := fig7RunInWorld(w, tcp.CCCM, cfg)
+		w := newTestbed(vbnsPath(43), true, cm.WithInitialWindow(iw))
+		times := fig7RunInTestbed(w, tcp.CCCM, cfg)
 		if len(times) == 0 {
 			return 0
 		}
@@ -199,9 +199,9 @@ func (r AblationSchedulerResult) Table() string {
 		formatTable([]string{"scheduler", "grant ratio A:B"}, rows)
 }
 
-// fig7RunInWorld is RunFig7's inner loop exposed for the ablations that need
+// fig7RunInTestbed is RunFig7's inner loop exposed for the ablations that need
 // a custom CM configuration.
-func fig7RunInWorld(w *world, cc tcp.CongestionControl, cfg Fig7Config) []float64 {
+func fig7RunInTestbed(w *testbed, cc tcp.CongestionControl, cfg Fig7Config) []float64 {
 	serverCfg := w.senderTCPConfig(cc)
 	if _, err := newFileServer(w, serverCfg, cfg.FileSize); err != nil {
 		return nil

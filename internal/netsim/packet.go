@@ -99,6 +99,12 @@ type Packet struct {
 	// output hook does not charge them to a macroflow.
 	Control bool
 
+	// TTL is the remaining hop budget. The originating host's IP output
+	// routine sets it to DefaultTTL when zero; every forwarding hop decrements
+	// it and discards the packet when it reaches zero, so routing loops
+	// cannot circulate packets forever.
+	TTL int
+
 	// ChargeBytes is the number of bytes the Congestion Manager should
 	// charge for this transmission (the transport payload). Zero means
 	// "charge the full wire size". Keeping CM charging in payload bytes
@@ -191,4 +197,7 @@ const (
 	// DefaultMSS is the TCP maximum segment size on an Ethernet path with
 	// timestamps enabled.
 	DefaultMSS = DefaultMTU - IPHeaderSize - TCPHeaderSize - TCPTimestampOption
+	// DefaultTTL is the initial hop budget stamped on packets whose sender
+	// left TTL zero, matching the conventional IPv4 default.
+	DefaultTTL = 64
 )

@@ -40,27 +40,42 @@ type bindingKey struct {
 
 // HostStats are cumulative counters for a host's IP layer.
 type HostStats struct {
-	SentPackets      int
-	SentBytes        int64
-	ReceivedPackets  int
-	ReceivedBytes    int64
+	SentPackets     int
+	SentBytes       int64
+	ReceivedPackets int
+	ReceivedBytes   int64
+	// ForwardedPackets / ForwardedBytes count transit packets relayed by a
+	// forwarding-enabled host (a router). Forwarded traffic is not included
+	// in the Sent/Received counters, which cover locally terminated flows.
+	ForwardedPackets int
+	ForwardedBytes   int64
 	NoRouteDrops     int
+	// RouteMissDrops counts transit packets discarded because the forwarding
+	// table had no entry (and no default route) for the destination, or
+	// because the packet reached a host that does not forward at all.
+	RouteMissDrops int
+	// TTLExpiredDrops counts transit packets discarded because their hop
+	// budget reached zero, the symptom of a routing loop.
+	TTLExpiredDrops  int
 	NoListenerDrops  int
 	LastReceived     time.Duration
 	NotifierUpcalled int
 }
 
 // Host is a simulated end system with an IP layer, a routing table keyed by
-// destination host, and transport-endpoint demultiplexing.
+// destination host, and transport-endpoint demultiplexing. A Host with
+// forwarding enabled doubles as a router: packets arriving for other
+// destinations are relayed hop-by-hop through the routing table.
 type Host struct {
-	name     string
-	sched    *simtime.Scheduler
-	routes   map[string]*netsim.Link
-	def      *netsim.Link
-	bindings map[bindingKey]Handler
-	notifier TransmitNotifier
-	stats    HostStats
-	nextPort int
+	name       string
+	sched      *simtime.Scheduler
+	routes     map[string]*netsim.Link
+	def        *netsim.Link
+	bindings   map[bindingKey]Handler
+	notifier   TransmitNotifier
+	stats      HostStats
+	nextPort   int
+	forwarding bool
 }
 
 // NewHost creates a host with the given name attached to the scheduler.
@@ -92,6 +107,13 @@ func (h *Host) Stats() HostStats { return h.stats }
 
 // SetTransmitNotifier installs the CM hook called from the IP output routine.
 func (h *Host) SetTransmitNotifier(n TransmitNotifier) { h.notifier = n }
+
+// EnableForwarding turns the host into a router: packets received for other
+// destinations are relayed through the routing table instead of dropped.
+func (h *Host) EnableForwarding() { h.forwarding = true }
+
+// Forwarding reports whether the host relays transit packets.
+func (h *Host) Forwarding() bool { return h.forwarding }
 
 // AddRoute routes packets destined to dstHost over link.
 func (h *Host) AddRoute(dstHost string, link *netsim.Link) {
@@ -163,6 +185,9 @@ func (h *Host) Output(pkt *netsim.Packet) bool {
 	if pkt.Src.Host == "" {
 		pkt.Src.Host = h.name
 	}
+	if pkt.TTL == 0 {
+		pkt.TTL = netsim.DefaultTTL
+	}
 	link := h.RouteTo(pkt.Dst.Host)
 	if link == nil {
 		h.stats.NoRouteDrops++
@@ -186,11 +211,18 @@ func (h *Host) Output(pkt *netsim.Packet) bool {
 	return link.Send(pkt)
 }
 
-// Receive implements netsim.Receiver: it demultiplexes an arriving packet to
-// the most specific binding (connected first, then wildcard listener). The
-// host is the end of a packet's life: once the handler returns (handlers keep
-// the payload, never the packet) the packet is released back to the pool.
+// Receive implements netsim.Receiver: packets addressed to this host are
+// demultiplexed to the most specific binding (connected first, then wildcard
+// listener); packets in transit are forwarded when the host is a router and
+// dropped (with accounting) otherwise. For locally terminated packets the
+// host is the end of the packet's life: once the handler returns (handlers
+// keep the payload, never the packet) the packet is released back to the
+// pool.
 func (h *Host) Receive(pkt *netsim.Packet) {
+	if pkt.Dst.Host != h.name {
+		h.forward(pkt)
+		return
+	}
 	h.stats.ReceivedPackets++
 	h.stats.ReceivedBytes += int64(pkt.Size)
 	h.stats.LastReceived = h.sched.Now()
@@ -207,6 +239,35 @@ func (h *Host) Receive(pkt *netsim.Packet) {
 	}
 	hd.Handle(pkt)
 	pkt.Release()
+}
+
+// forward relays a transit packet toward its destination. The hop decrements
+// the TTL (dropping expired packets), consults the routing table (falling
+// back to the default route) and hands the packet to the next link. Both
+// failure modes are counted in HostStats rather than silently discarded.
+// Forwarding deliberately bypasses Output: transit traffic is not a local
+// transmission, so it is never charged to the Congestion Manager.
+func (h *Host) forward(pkt *netsim.Packet) {
+	if !h.forwarding {
+		h.stats.RouteMissDrops++
+		pkt.Release()
+		return
+	}
+	pkt.TTL--
+	if pkt.TTL <= 0 {
+		h.stats.TTLExpiredDrops++
+		pkt.Release()
+		return
+	}
+	link := h.RouteTo(pkt.Dst.Host)
+	if link == nil {
+		h.stats.RouteMissDrops++
+		pkt.Release()
+		return
+	}
+	h.stats.ForwardedPackets++
+	h.stats.ForwardedBytes += int64(pkt.Size)
+	link.Send(pkt)
 }
 
 var _ netsim.Receiver = (*Host)(nil)
@@ -236,6 +297,14 @@ func (n *Network) Host(name string) *Host {
 	}
 	h := NewHost(name, n.sched)
 	n.hosts[name] = h
+	return h
+}
+
+// Router returns the named host with forwarding enabled, creating it on
+// first use. Calling Router on an existing host upgrades it in place.
+func (n *Network) Router(name string) *Host {
+	h := n.Host(name)
+	h.EnableForwarding()
 	return h
 }
 

@@ -1,0 +1,191 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cm"
+	"repro/internal/netsim"
+	"repro/internal/node"
+	"repro/internal/simtime"
+)
+
+// Sim is a built scenario: the wired topology, its scheduler and the
+// Congestion Managers, ready to run. Experiments that need programmatic
+// workloads (custom applications, taps, ablations) use Build directly and
+// drive the scheduler themselves; declarative workloads go through Run.
+type Sim struct {
+	Spec  Spec
+	sched *simtime.Scheduler
+	net   *node.Network
+	// nodeNames is every node in deterministic (first-mention) order.
+	nodeNames []string
+	// duplexes[i] realises Spec.Links[i].
+	duplexes []*netsim.Duplex
+	cms      map[string]*cm.CM
+	cmHosts  []string // deterministic order of cms keys
+}
+
+// Build validates the spec, creates the hosts, routers and links, computes
+// shortest-path routes between every pair of nodes, and installs Congestion
+// Managers on the CM hosts.
+func Build(spec Spec) (*Sim, error) {
+	spec.fillDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	sched := simtime.NewScheduler()
+	nw := node.NewNetwork(sched)
+	sim := &Sim{Spec: spec, sched: sched, net: nw, cms: make(map[string]*cm.CM)}
+
+	seen := make(map[string]bool)
+	addNode := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			sim.nodeNames = append(sim.nodeNames, name)
+		}
+	}
+	for _, r := range spec.Routers {
+		nw.Router(r)
+	}
+	// linkFrom[a][b] is the directional link a->b for adjacent nodes. The
+	// first link between a pair wins; parallel links would make next-hop
+	// routing ambiguous.
+	linkFrom := make(map[string]map[string]*netsim.Link)
+	neighbors := make(map[string][]string)
+	direction := func(from, to string, l *netsim.Link) error {
+		if linkFrom[from] == nil {
+			linkFrom[from] = make(map[string]*netsim.Link)
+		}
+		if _, dup := linkFrom[from][to]; dup {
+			return fmt.Errorf("scenario %q: duplicate link %s-%s", spec.Name, from, to)
+		}
+		linkFrom[from][to] = l
+		neighbors[from] = append(neighbors[from], to)
+		return nil
+	}
+	// Links with Seed zero get derived seeds. Each duplex consumes two seeds
+	// (NewDuplex uses Seed and Seed+1); derived pairs skip over any seed an
+	// explicitly seeded link already claimed, so no two links ever share a
+	// random stream.
+	usedSeeds := make(map[int64]bool)
+	for _, ls := range spec.Links {
+		if ls.Seed != 0 {
+			usedSeeds[ls.Seed] = true
+			usedSeeds[ls.Seed+1] = true
+		}
+	}
+	nextSeed := spec.Seed
+	deriveSeed := func() int64 {
+		for usedSeeds[nextSeed] || usedSeeds[nextSeed+1] {
+			nextSeed++
+		}
+		s := nextSeed
+		usedSeeds[s] = true
+		usedSeeds[s+1] = true
+		nextSeed += 2
+		return s
+	}
+	for _, ls := range spec.Links {
+		addNode(ls.A)
+		addNode(ls.B)
+		cfg := ls.LinkConfig
+		if cfg.Name == "" {
+			cfg.Name = ls.A + "<->" + ls.B
+		}
+		if cfg.Seed == 0 {
+			cfg.Seed = deriveSeed()
+		}
+		d := nw.ConnectDuplex(ls.A, ls.B, cfg)
+		sim.duplexes = append(sim.duplexes, d)
+		if err := direction(ls.A, ls.B, d.Forward); err != nil {
+			return nil, err
+		}
+		if err := direction(ls.B, ls.A, d.Reverse); err != nil {
+			return nil, err
+		}
+	}
+
+	sim.installRoutes(linkFrom, neighbors)
+
+	cmHosts := append([]string(nil), spec.CMHosts...)
+	for _, w := range spec.Workloads {
+		if w.CC == CCCM {
+			cmHosts = append(cmHosts, w.From)
+		}
+	}
+	sort.Strings(cmHosts)
+	for _, h := range cmHosts {
+		if _, ok := sim.cms[h]; ok {
+			continue
+		}
+		c := cm.New(sched, sched, spec.CMOpts...)
+		sim.cms[h] = c
+		sim.cmHosts = append(sim.cmHosts, h)
+		nw.Host(h).SetTransmitNotifier(c)
+	}
+	return sim, nil
+}
+
+// MustBuild is Build for specs known statically correct (canned builders).
+func MustBuild(spec Spec) *Sim {
+	sim, err := Build(spec)
+	if err != nil {
+		panic(err)
+	}
+	return sim
+}
+
+// installRoutes runs a breadth-first search from every node over the link
+// adjacency and installs the next-hop link toward every other node. Ties are
+// broken by first-mention order, so route tables are deterministic.
+func (s *Sim) installRoutes(linkFrom map[string]map[string]*netsim.Link, neighbors map[string][]string) {
+	for _, src := range s.nodeNames {
+		// parent[v] is v's predecessor on the shortest path from src.
+		parent := map[string]string{src: src}
+		queue := []string{src}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range neighbors[u] {
+				if _, ok := parent[v]; !ok {
+					parent[v] = u
+					queue = append(queue, v)
+				}
+			}
+		}
+		h := s.net.Host(src)
+		for _, dst := range s.nodeNames {
+			if dst == src {
+				continue
+			}
+			if _, ok := parent[dst]; !ok {
+				continue // unreachable; Output will count a NoRouteDrop
+			}
+			// Walk back from dst to find src's next hop.
+			hop := dst
+			for parent[hop] != src {
+				hop = parent[hop]
+			}
+			h.AddRoute(dst, linkFrom[src][hop])
+		}
+	}
+}
+
+// Scheduler returns the simulation's private scheduler.
+func (s *Sim) Scheduler() *simtime.Scheduler { return s.sched }
+
+// Network returns the wired topology.
+func (s *Sim) Network() *node.Network { return s.net }
+
+// Host returns the named host.
+func (s *Sim) Host(name string) *node.Host { return s.net.Host(name) }
+
+// CM returns the Congestion Manager installed on the named host, or nil.
+func (s *Sim) CM(host string) *cm.CM { return s.cms[host] }
+
+// Duplex returns the duplex realising Spec.Links[i].
+func (s *Sim) Duplex(i int) *netsim.Duplex { return s.duplexes[i] }
+
+// Nodes returns every node name in deterministic order.
+func (s *Sim) Nodes() []string { return append([]string(nil), s.nodeNames...) }

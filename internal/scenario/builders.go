@@ -1,0 +1,311 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// DumbbellParams parameterises the canonical shared-bottleneck topology.
+type DumbbellParams struct {
+	// Senders and Receivers are the leaf counts on each side.
+	Senders   int
+	Receivers int
+	// FlowsPerPair is the number of concurrent connections from each sender
+	// to each of its destinations.
+	FlowsPerPair int
+	// CrossProduct sends from every sender to every receiver; otherwise
+	// sender i sends only to receiver i mod Receivers.
+	CrossProduct bool
+	// CC selects the congestion controller of all workloads.
+	CC string
+	// Bottleneck configures the shared link; zero fields get the defaults of
+	// a 10 Mbps / 20 ms / 120-packet pipe.
+	Bottleneck netsim.LinkConfig
+	// AccessBandwidth is the edge-link rate (default 100 Mbps, fast enough
+	// that the shared link is the bottleneck).
+	AccessBandwidth netsim.Bandwidth
+	// Bytes per flow (0 = stream for the whole run).
+	Bytes    int
+	Duration time.Duration
+	Seed     int64
+}
+
+func (p *DumbbellParams) fillDefaults() {
+	if p.Senders <= 0 {
+		p.Senders = 2
+	}
+	if p.Receivers <= 0 {
+		p.Receivers = 2
+	}
+	if p.FlowsPerPair <= 0 {
+		p.FlowsPerPair = 1
+	}
+	if p.CC == "" {
+		p.CC = CCCM
+	}
+	if p.Bottleneck.Bandwidth == 0 {
+		p.Bottleneck.Bandwidth = 10 * netsim.Mbps
+	}
+	if p.Bottleneck.Delay == 0 {
+		p.Bottleneck.Delay = 20 * time.Millisecond
+	}
+	if p.Bottleneck.QueuePackets == 0 && p.Bottleneck.QueueBytes == 0 {
+		p.Bottleneck.QueuePackets = 120
+	}
+	if p.AccessBandwidth == 0 {
+		p.AccessBandwidth = 100 * netsim.Mbps
+	}
+	if p.Duration <= 0 {
+		p.Duration = 20 * time.Second
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+}
+
+// Dumbbell builds N senders and M receivers joined through two routers and
+// one shared bottleneck link:
+//
+//	s0..sN-1 -- left -- bottleneck -- right -- d0..dM-1
+//
+// It is the topology behind the paper's ensemble-sharing argument: all flows
+// crossing the bottleneck share its queue, and each sender's CM aggregates
+// its flows per destination.
+func Dumbbell(p DumbbellParams) Spec {
+	p.fillDefaults()
+	access := netsim.LinkConfig{
+		Bandwidth:    p.AccessBandwidth,
+		Delay:        250 * time.Microsecond,
+		QueuePackets: 300,
+	}
+	spec := Spec{
+		Name: "dumbbell",
+		Description: fmt.Sprintf("%d senders and %d receivers behind one shared %s bottleneck",
+			p.Senders, p.Receivers, p.Bottleneck.Bandwidth),
+		Routers:  []string{"left", "right"},
+		Duration: p.Duration,
+		Seed:     p.Seed,
+	}
+	bn := p.Bottleneck
+	bn.Name = "bottleneck"
+	spec.Links = append(spec.Links, LinkSpec{A: "left", B: "right", LinkConfig: bn})
+	for i := 0; i < p.Senders; i++ {
+		spec.Links = append(spec.Links, LinkSpec{A: sname(i), B: "left", LinkConfig: access})
+	}
+	for j := 0; j < p.Receivers; j++ {
+		spec.Links = append(spec.Links, LinkSpec{A: "right", B: dname(j), LinkConfig: access})
+	}
+	kind := KindStream
+	if p.Bytes > 0 {
+		kind = KindBulk
+	}
+	for i := 0; i < p.Senders; i++ {
+		if p.CrossProduct {
+			for j := 0; j < p.Receivers; j++ {
+				spec.Workloads = append(spec.Workloads, Workload{
+					Kind: kind, From: sname(i), To: dname(j),
+					Flows: p.FlowsPerPair, Bytes: p.Bytes, CC: p.CC,
+				})
+			}
+		} else {
+			spec.Workloads = append(spec.Workloads, Workload{
+				Kind: kind, From: sname(i), To: dname(i % p.Receivers),
+				Flows: p.FlowsPerPair, Bytes: p.Bytes, CC: p.CC,
+			})
+		}
+	}
+	return spec
+}
+
+func sname(i int) string { return fmt.Sprintf("s%d", i) }
+func dname(j int) string { return fmt.Sprintf("d%d", j) }
+
+// ParkingLotParams parameterises the multi-bottleneck chain.
+type ParkingLotParams struct {
+	// Hops is the number of router-to-router links in the chain (>= 2).
+	Hops int
+	// CC selects the congestion controller of all workloads.
+	CC string
+	// HopBandwidth is the rate of each chain link (default 10 Mbps).
+	HopBandwidth netsim.Bandwidth
+	Duration     time.Duration
+	Seed         int64
+}
+
+// ParkingLot builds the classic chain of H hops with one long flow crossing
+// every hop and one short cross-flow per hop:
+//
+//	long:  src -- r0 -- r1 -- ... -- rH -- dst
+//	short: xi  -- ri -- r(i+1) -- yi      (one per hop)
+//
+// The long flow competes with fresh traffic at every router queue, the
+// standard stress test for multi-hop congestion control.
+func ParkingLot(p ParkingLotParams) Spec {
+	if p.Hops < 2 {
+		p.Hops = 3
+	}
+	if p.CC == "" {
+		p.CC = CCCM
+	}
+	if p.HopBandwidth == 0 {
+		p.HopBandwidth = 10 * netsim.Mbps
+	}
+	if p.Duration <= 0 {
+		p.Duration = 20 * time.Second
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	hop := netsim.LinkConfig{
+		Bandwidth:    p.HopBandwidth,
+		Delay:        5 * time.Millisecond,
+		QueuePackets: 100,
+	}
+	access := netsim.LinkConfig{
+		Bandwidth:    100 * netsim.Mbps,
+		Delay:        250 * time.Microsecond,
+		QueuePackets: 300,
+	}
+	spec := Spec{
+		Name:        "parkinglot",
+		Description: fmt.Sprintf("parking lot: one long flow over %d hops vs per-hop cross traffic", p.Hops),
+		Duration:    p.Duration,
+		Seed:        p.Seed,
+	}
+	rname := func(i int) string { return fmt.Sprintf("r%d", i) }
+	for i := 0; i <= p.Hops; i++ {
+		spec.Routers = append(spec.Routers, rname(i))
+	}
+	for i := 0; i < p.Hops; i++ {
+		spec.Links = append(spec.Links, LinkSpec{A: rname(i), B: rname(i + 1), LinkConfig: hop})
+	}
+	spec.Links = append(spec.Links,
+		LinkSpec{A: "src", B: rname(0), LinkConfig: access},
+		LinkSpec{A: rname(p.Hops), B: "dst", LinkConfig: access},
+	)
+	spec.Workloads = append(spec.Workloads, Workload{
+		Kind: KindStream, From: "src", To: "dst", CC: p.CC,
+	})
+	for i := 0; i < p.Hops; i++ {
+		x, y := fmt.Sprintf("x%d", i), fmt.Sprintf("y%d", i)
+		spec.Links = append(spec.Links,
+			LinkSpec{A: x, B: rname(i), LinkConfig: access},
+			LinkSpec{A: rname(i + 1), B: y, LinkConfig: access},
+		)
+		spec.Workloads = append(spec.Workloads, Workload{
+			Kind: KindStream, From: x, To: y, CC: p.CC,
+		})
+	}
+	return spec
+}
+
+// StarParams parameterises the hub-and-spoke topology.
+type StarParams struct {
+	// Leaves is the number of spoke hosts (>= 3).
+	Leaves int
+	// CC selects the congestion controller of all workloads.
+	CC string
+	// SpokeBandwidth is the per-spoke rate (default 10 Mbps).
+	SpokeBandwidth netsim.Bandwidth
+	// Bytes per flow (0 = stream).
+	Bytes    int
+	Duration time.Duration
+	Seed     int64
+}
+
+// Star builds N leaf hosts around one hub router, with each leaf sending to
+// the next (li -> l(i+1) mod N), so every flow crosses two spoke links and
+// contends at the hub. A server-like concentration pattern appears at each
+// leaf's uplink.
+func Star(p StarParams) Spec {
+	if p.Leaves < 3 {
+		p.Leaves = 4
+	}
+	if p.CC == "" {
+		p.CC = CCCM
+	}
+	if p.SpokeBandwidth == 0 {
+		p.SpokeBandwidth = 10 * netsim.Mbps
+	}
+	if p.Duration <= 0 {
+		p.Duration = 20 * time.Second
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	spoke := netsim.LinkConfig{
+		Bandwidth:    p.SpokeBandwidth,
+		Delay:        5 * time.Millisecond,
+		QueuePackets: 100,
+	}
+	spec := Spec{
+		Name:        "star",
+		Description: fmt.Sprintf("%d leaves around one hub router, each streaming to its neighbour", p.Leaves),
+		Routers:     []string{"hub"},
+		Duration:    p.Duration,
+		Seed:        p.Seed,
+	}
+	lname := func(i int) string { return fmt.Sprintf("l%d", i) }
+	kind := KindStream
+	if p.Bytes > 0 {
+		kind = KindBulk
+	}
+	for i := 0; i < p.Leaves; i++ {
+		spec.Links = append(spec.Links, LinkSpec{A: lname(i), B: "hub", LinkConfig: spoke})
+	}
+	for i := 0; i < p.Leaves; i++ {
+		spec.Workloads = append(spec.Workloads, Workload{
+			Kind: kind, From: lname(i), To: lname((i + 1) % p.Leaves),
+			Bytes: p.Bytes, CC: p.CC,
+		})
+	}
+	return spec
+}
+
+// PointToPointParams parameterises the two-host topology every experiment in
+// the paper's evaluation uses.
+type PointToPointParams struct {
+	Sender, Receiver string
+	Link             netsim.LinkConfig
+	// Workloads is optional; Build-only users (the experiment runners)
+	// attach their own traffic programmatically.
+	Workloads []Workload
+	Duration  time.Duration
+	// WithCM installs a Congestion Manager on the sender even when no
+	// declarative workload asks for one.
+	WithCM bool
+	Seed   int64
+}
+
+// PointToPoint builds sender<->receiver joined by one duplex link.
+func PointToPoint(p PointToPointParams) Spec {
+	if p.Sender == "" {
+		p.Sender = "sender"
+	}
+	if p.Receiver == "" {
+		p.Receiver = "receiver"
+	}
+	if p.Link.Bandwidth == 0 {
+		p.Link.Bandwidth = 10 * netsim.Mbps
+	}
+	if p.Link.QueuePackets == 0 && p.Link.QueueBytes == 0 {
+		p.Link.QueuePackets = 120
+	}
+	if p.Duration <= 0 {
+		p.Duration = 30 * time.Second
+	}
+	spec := Spec{
+		Name:        "p2p",
+		Description: fmt.Sprintf("point-to-point %s path", p.Link.Bandwidth),
+		Links:       []LinkSpec{{A: p.Sender, B: p.Receiver, LinkConfig: p.Link}},
+		Workloads:   p.Workloads,
+		Duration:    p.Duration,
+		Seed:        p.Seed,
+	}
+	if p.WithCM {
+		spec.CMHosts = []string{p.Sender}
+	}
+	return spec
+}

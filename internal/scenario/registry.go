@@ -1,0 +1,72 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// registry maps scenario names to spec factories. Factories (not specs) are
+// registered so each lookup returns a fresh, unshared Spec.
+var registry = map[string]func() Spec{}
+
+// Register adds a named scenario factory. It panics on duplicate names so
+// registration mistakes surface at init time.
+func Register(name string, factory func() Spec) {
+	if name == "" || factory == nil {
+		panic("scenario: Register requires a name and a factory")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("scenario: %q registered twice", name))
+	}
+	registry[name] = factory
+}
+
+// Lookup returns a fresh spec for the named scenario.
+func Lookup(name string) (Spec, error) {
+	f, ok := registry[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("scenario: unknown scenario %q (use List for the catalogue)", name)
+	}
+	spec := f()
+	spec.Name = name
+	return spec, nil
+}
+
+// List returns the registered scenario names in sorted order.
+func List() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Describe returns the one-line description of a registered scenario.
+func Describe(name string) string {
+	f, ok := registry[name]
+	if !ok {
+		return ""
+	}
+	return f().Description
+}
+
+func init() {
+	Register("dumbbell", func() Spec {
+		return Dumbbell(DumbbellParams{Senders: 2, Receivers: 2, FlowsPerPair: 2, CrossProduct: true, Bytes: 2 << 20})
+	})
+	Register("dumbbell-native", func() Spec {
+		return Dumbbell(DumbbellParams{Senders: 2, Receivers: 2, FlowsPerPair: 2, CrossProduct: true, Bytes: 2 << 20, CC: CCNative})
+	})
+	Register("parkinglot", func() Spec {
+		return ParkingLot(ParkingLotParams{Hops: 3})
+	})
+	Register("star", func() Spec {
+		return Star(StarParams{Leaves: 4})
+	})
+	Register("p2p", func() Spec {
+		return PointToPoint(PointToPointParams{
+			Workloads: []Workload{{Kind: KindBulk, From: "sender", To: "receiver", Bytes: 2 << 20, CC: CCCM}},
+		})
+	})
+}

@@ -1,0 +1,222 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cm"
+	"repro/internal/netsim"
+	"repro/internal/node"
+	"repro/internal/tcp"
+)
+
+// FlowResult reports one transport flow of a workload.
+type FlowResult struct {
+	Workload int    `json:"workload"`
+	Flow     int    `json:"flow"`
+	From     string `json:"from"`
+	To       string `json:"to"`
+	Port     int    `json:"port"`
+	CC       string `json:"cc"`
+	// Delivered is the number of payload bytes the receiver's application
+	// saw in order.
+	Delivered int64 `json:"delivered"`
+	// Completed is true when a bulk flow delivered all its bytes and closed.
+	Completed bool `json:"completed"`
+	// Established and Finished are virtual timestamps (Finished is zero for
+	// incomplete or streaming flows).
+	Established time.Duration `json:"established"`
+	Finished    time.Duration `json:"finished,omitempty"`
+	// Elapsed is Finished-Established for completed flows, otherwise the
+	// time from establishment to the end of the run.
+	Elapsed         time.Duration `json:"elapsed"`
+	ThroughputKBps  float64       `json:"throughput_kbps"`
+	Retransmissions int64         `json:"retransmissions"`
+	Timeouts        int64         `json:"timeouts"`
+	SRTT            time.Duration `json:"srtt"`
+	// Error reports a flow that failed to start (e.g. a dial rejected after
+	// the run began); such flows are never Completed.
+	Error string `json:"error,omitempty"`
+}
+
+// LinkResult reports one direction of one link.
+type LinkResult struct {
+	Name string `json:"name"`
+	netsim.LinkStats
+	// ECNMarked counts CE marks applied by this link's queue.
+	ECNMarked int `json:"ecn_marked"`
+}
+
+// HostResult reports a node's IP-layer counters.
+type HostResult struct {
+	Name   string `json:"name"`
+	Router bool   `json:"router,omitempty"`
+	node.HostStats
+}
+
+// CMResult reports one host's Congestion Manager.
+type CMResult struct {
+	Host       string `json:"host"`
+	Macroflows int    `json:"macroflows"`
+	Flows      int    `json:"flows"`
+	cm.Accounting
+}
+
+// Result is the outcome of one scenario run. It is a pure function of the
+// Spec: all slices are in deterministic order and contain only value types,
+// so results can be compared with reflect.DeepEqual or byte-compared after
+// JSON encoding.
+type Result struct {
+	Scenario string        `json:"scenario"`
+	EndTime  time.Duration `json:"end_time"`
+	Flows    []FlowResult  `json:"flows"`
+	Links    []LinkResult  `json:"links"`
+	Hosts    []HostResult  `json:"hosts"`
+	CMs      []CMResult    `json:"cms,omitempty"`
+}
+
+// flowDriver tracks one declarative flow while the simulation runs.
+type flowDriver struct {
+	res       *FlowResult
+	ep        *tcp.Endpoint
+	wantBytes int64
+}
+
+// Run builds the spec and executes its workloads for the configured
+// duration, returning the collected result.
+func Run(spec Spec) (*Result, error) {
+	sim, err := Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	drivers, err := sim.startWorkloads()
+	if err != nil {
+		return nil, err
+	}
+	sim.sched.RunUntil(sim.Spec.Duration)
+	return sim.collect(drivers), nil
+}
+
+// startWorkloads instantiates every declarative flow: a listener on the To
+// host, a dialer on the From host (delayed by Start), and the send/close
+// behaviour of the workload kind.
+func (s *Sim) startWorkloads() ([]*flowDriver, error) {
+	var drivers []*flowDriver
+	for wi := range s.Spec.Workloads {
+		w := &s.Spec.Workloads[wi]
+		for fi := 0; fi < w.Flows; fi++ {
+			port := w.Port + fi
+			d := &flowDriver{
+				res: &FlowResult{
+					Workload: wi, Flow: fi,
+					From: w.From, To: w.To, Port: port, CC: w.CC,
+				},
+			}
+			if w.Kind == KindBulk {
+				d.wantBytes = int64(w.Bytes)
+			}
+			drivers = append(drivers, d)
+
+			_, err := tcp.Listen(s.net.Host(w.To), port,
+				tcp.Config{DelayedAck: true, RecvWindow: w.RecvWindow},
+				func(ep *tcp.Endpoint) {
+					ep.OnReceive(func(n int) { d.res.Delivered += int64(n) })
+					ep.OnClosed(func() { d.res.Finished = s.sched.Now() })
+				})
+			if err != nil {
+				return nil, fmt.Errorf("scenario %q: workload %d flow %d: %w", s.Spec.Name, wi, fi, err)
+			}
+
+			cfg := tcp.Config{
+				DelayedAck: true,
+				RecvWindow: w.RecvWindow,
+			}
+			if w.CC == CCCM {
+				cfg.CongestionControl = tcp.CCCM
+				cfg.CM = s.cms[w.From]
+			} else {
+				cfg.CongestionControl = tcp.CCNative
+			}
+			bytes, kind := w.Bytes, w.Kind
+			dial := func() error {
+				ep, err := tcp.Dial(s.net.Host(w.From), netsim.Addr{Host: w.To, Port: port}, cfg)
+				if err != nil {
+					d.res.Error = err.Error()
+					return err
+				}
+				d.ep = ep
+				ep.OnEstablished(func() {
+					d.res.Established = s.sched.Now()
+					switch kind {
+					case KindStream:
+						// Effectively unbounded: backlogged for the whole
+						// run (1 GB, an int even on 32-bit platforms).
+						ep.Send(1 << 30)
+					default:
+						ep.Send(bytes)
+						ep.Close()
+					}
+				})
+				return nil
+			}
+			if w.Start > 0 {
+				// The dial happens mid-run; a failure is recorded on the
+				// flow's result instead of aborting the whole scenario.
+				s.sched.At(w.Start, func() { _ = dial() })
+			} else if err := dial(); err != nil {
+				return nil, fmt.Errorf("scenario %q: workload %d flow %d: %w", s.Spec.Name, wi, fi, err)
+			}
+		}
+	}
+	return drivers, nil
+}
+
+// collect freezes the simulation state into a Result.
+func (s *Sim) collect(drivers []*flowDriver) *Result {
+	res := &Result{Scenario: s.Spec.Name, EndTime: s.sched.Now()}
+	for _, d := range drivers {
+		fr := *d.res
+		if d.wantBytes > 0 && fr.Delivered >= d.wantBytes && fr.Finished > 0 {
+			fr.Completed = true
+			fr.Elapsed = fr.Finished - fr.Established
+		} else {
+			fr.Finished = 0
+			if fr.Established > 0 {
+				fr.Elapsed = s.sched.Now() - fr.Established
+			}
+		}
+		if d.ep != nil {
+			st := d.ep.Stats()
+			fr.Retransmissions = st.Retransmissions
+			fr.Timeouts = st.Timeouts
+			fr.SRTT = st.SRTT
+		}
+		if fr.Elapsed > 0 {
+			fr.ThroughputKBps = float64(fr.Delivered) / fr.Elapsed.Seconds() / 1024
+		}
+		res.Flows = append(res.Flows, fr)
+	}
+	for _, d := range s.duplexes {
+		for _, l := range []*netsim.Link{d.Forward, d.Reverse} {
+			res.Links = append(res.Links, LinkResult{
+				Name:      l.Config().Name,
+				LinkStats: l.Stats(),
+				ECNMarked: l.QueueStats().ECNMarked,
+			})
+		}
+	}
+	for _, name := range s.nodeNames {
+		h := s.net.Host(name)
+		res.Hosts = append(res.Hosts, HostResult{Name: name, Router: h.Forwarding(), HostStats: h.Stats()})
+	}
+	for _, host := range s.cmHosts {
+		c := s.cms[host]
+		res.CMs = append(res.CMs, CMResult{
+			Host:       host,
+			Macroflows: c.MacroflowCount(),
+			Flows:      c.FlowCount(),
+			Accounting: c.Accounting(),
+		})
+	}
+	return res
+}

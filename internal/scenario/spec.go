@@ -1,0 +1,215 @@
+// Package scenario is the declarative experiment layer of the reproduction.
+// A Spec describes a topology (hosts, routers, links), the workloads that run
+// over it and how long the simulation lasts; Build turns a Spec into a wired
+// simulation and Run executes it to a Result. Canned builders (Dumbbell,
+// ParkingLot, Star, PointToPoint) cover the common shapes of the congestion
+// literature, and a registry maps scenario names to specs so command-line
+// tools can run them by name.
+//
+// Every simulation owns its scheduler and per-link seeded random sources, so
+// a scenario's Result is a pure function of its Spec: running many scenarios
+// concurrently (see RunAll) yields byte-identical results to running them
+// one after another.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cm"
+	"repro/internal/netsim"
+)
+
+// Congestion-control selectors for workloads, mirroring tcp.CCCM/CCNative
+// without importing the transport here.
+const (
+	CCCM     = "cm"
+	CCNative = "native"
+)
+
+// Workload kinds.
+const (
+	// KindBulk transfers Bytes per flow and closes the connection; the flow
+	// completes when the receiver has everything.
+	KindBulk = "bulk"
+	// KindStream keeps the flow backlogged for the whole scenario duration
+	// (an "infinite" transfer); it never completes.
+	KindStream = "stream"
+)
+
+// LinkSpec declares one duplex link between two nodes. The embedded
+// netsim.LinkConfig carries bandwidth, delay, queueing and impairment knobs;
+// a zero Seed is replaced by a deterministic per-link seed derived from the
+// spec seed so results stay reproducible without hand-numbering every link.
+type LinkSpec struct {
+	// A and B are the endpoint node names. ConnectDuplex wires A->B as the
+	// forward direction.
+	A string `json:"a"`
+	B string `json:"b"`
+	netsim.LinkConfig
+}
+
+// Workload declares a group of identical transport flows.
+type Workload struct {
+	// Kind is KindBulk (default) or KindStream.
+	Kind string `json:"kind,omitempty"`
+	// From and To are the sending and receiving host names.
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Port is the first listening port; flow i listens on Port+i. Zero
+	// auto-assigns a port range disjoint from other workloads.
+	Port int `json:"port,omitempty"`
+	// Flows is the number of concurrent connections (default 1).
+	Flows int `json:"flows,omitempty"`
+	// Bytes is the per-flow transfer size for KindBulk (default 1 MB).
+	Bytes int `json:"bytes,omitempty"`
+	// CC selects the congestion controller: CCNative (default) or CCCM. A
+	// CCCM workload implies a Congestion Manager on the From host.
+	CC string `json:"cc,omitempty"`
+	// Start delays connection establishment into the run.
+	Start time.Duration `json:"start,omitempty"`
+	// RecvWindow is the receiver's advertised window (default 1 MB).
+	RecvWindow int `json:"recv_window,omitempty"`
+}
+
+// Spec is a complete, self-contained description of one simulation.
+type Spec struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Links defines the topology; nodes are created on first mention.
+	Links []LinkSpec `json:"links"`
+	// Routers lists the nodes that forward transit packets. Routes between
+	// all node pairs are computed with shortest-path (hop count) over Links.
+	Routers []string `json:"routers,omitempty"`
+	// CMHosts lists hosts that run a Congestion Manager with the IP output
+	// hook installed. Hosts sourcing a CCCM workload are added automatically.
+	CMHosts []string `json:"cm_hosts,omitempty"`
+	// Workloads are the traffic sources.
+	Workloads []Workload `json:"workloads"`
+	// Duration is how much virtual time to simulate (default 30 s).
+	Duration time.Duration `json:"duration,omitempty"`
+	// Seed derives per-link seeds for links that leave Seed zero (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// CMOpts configures every Congestion Manager the spec instantiates. It
+	// is programmatic-only state (functions), invisible to JSON.
+	CMOpts []cm.Option `json:"-"`
+}
+
+// fillDefaults normalises the spec in place. The Workloads slice is cloned
+// before any write: specs are replicated by value for batch runs (cmsim
+// -runs, the determinism tests), and the copies would otherwise share one
+// backing array that concurrent Run calls then race on.
+func (s *Spec) fillDefaults() {
+	if s.Duration <= 0 {
+		s.Duration = 30 * time.Second
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	s.Workloads = append([]Workload(nil), s.Workloads...)
+	// Auto-assigned port ranges must not collide with explicit ones that
+	// appear later in the list, so claim the explicit ranges first.
+	used := make(map[int]bool)
+	for _, w := range s.Workloads {
+		if w.Port == 0 {
+			continue
+		}
+		flows := w.Flows
+		if flows <= 0 {
+			flows = 1
+		}
+		for p := w.Port; p < w.Port+flows; p++ {
+			used[p] = true
+		}
+	}
+	nextPort := 5000
+	for i := range s.Workloads {
+		w := &s.Workloads[i]
+		if w.Kind == "" {
+			w.Kind = KindBulk
+		}
+		if w.Flows <= 0 {
+			w.Flows = 1
+		}
+		if w.CC == "" {
+			w.CC = CCNative
+		}
+		if w.Bytes <= 0 && w.Kind == KindBulk {
+			w.Bytes = 1 << 20
+		}
+		if w.RecvWindow <= 0 {
+			w.RecvWindow = 1 << 20
+		}
+		if w.Port == 0 {
+			for {
+				free := true
+				for p := nextPort; p < nextPort+w.Flows; p++ {
+					if used[p] {
+						free = false
+						nextPort = p + 1
+						break
+					}
+				}
+				if free {
+					break
+				}
+			}
+			w.Port = nextPort
+			nextPort += w.Flows
+		}
+	}
+}
+
+// Validate checks the spec for structural errors: empty topology, links or
+// workloads referring to unknown nodes, unknown workload kinds or congestion
+// controllers, and workloads sourced at routers (routers carry transit
+// traffic only).
+func (s *Spec) Validate() error {
+	if len(s.Links) == 0 {
+		return fmt.Errorf("scenario %q: no links", s.Name)
+	}
+	nodes := make(map[string]bool)
+	for i, l := range s.Links {
+		if l.A == "" || l.B == "" || l.A == l.B {
+			return fmt.Errorf("scenario %q: link %d endpoints %q-%q invalid", s.Name, i, l.A, l.B)
+		}
+		nodes[l.A] = true
+		nodes[l.B] = true
+	}
+	router := make(map[string]bool)
+	for _, r := range s.Routers {
+		if !nodes[r] {
+			return fmt.Errorf("scenario %q: router %q not attached to any link", s.Name, r)
+		}
+		router[r] = true
+	}
+	for _, h := range s.CMHosts {
+		if !nodes[h] {
+			return fmt.Errorf("scenario %q: CM host %q not attached to any link", s.Name, h)
+		}
+	}
+	// An empty workload list is allowed: experiment runners Build a bare
+	// topology and attach their own programmatic traffic.
+	for i, w := range s.Workloads {
+		if !nodes[w.From] || !nodes[w.To] {
+			return fmt.Errorf("scenario %q: workload %d endpoints %q->%q not in topology", s.Name, i, w.From, w.To)
+		}
+		if w.From == w.To {
+			return fmt.Errorf("scenario %q: workload %d sends to itself", s.Name, i)
+		}
+		if router[w.From] || router[w.To] {
+			return fmt.Errorf("scenario %q: workload %d terminates at a router", s.Name, i)
+		}
+		switch w.Kind {
+		case "", KindBulk, KindStream:
+		default:
+			return fmt.Errorf("scenario %q: workload %d kind %q unknown", s.Name, i, w.Kind)
+		}
+		switch w.CC {
+		case "", CCCM, CCNative:
+		default:
+			return fmt.Errorf("scenario %q: workload %d cc %q unknown", s.Name, i, w.CC)
+		}
+	}
+	return nil
+}
