@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench perf
+.PHONY: ci vet build test race bench perf bench-smoke
 
 ci: vet build race bench
 
@@ -27,3 +27,8 @@ bench:
 # Regenerate the perf snapshot of the simulation core's hot loops.
 perf:
 	$(GO) run ./cmd/cmbench -experiment perf -perfout BENCH_1.json
+
+# Per-PR perf trajectory point: the same core-loop benchmarks written to
+# BENCH_2.json, which CI uploads as an artifact on every run.
+bench-smoke:
+	$(GO) run ./cmd/cmbench -experiment perf -pr 2 -perfout BENCH_2.json

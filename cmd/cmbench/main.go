@@ -7,7 +7,8 @@
 //	cmbench                      # run everything with the default (paper-sized) settings
 //	cmbench -experiment fig3     # run a single experiment
 //	cmbench -quick               # smaller sweeps, for a fast smoke run
-//	cmbench -csv                 # emit adaptation traces (fig8-10) as CSV instead of tables
+//	cmbench -csv                 # emit adaptation traces (fig8-10, failure) as CSV instead of tables
+//	cmbench -experiment failure  # adaptation under a scheduled bottleneck outage
 //	cmbench -experiment perf     # benchmark the simulation core's hot loops
 //	                             # and write a BENCH_<pr>.json perf snapshot
 package main
@@ -26,14 +27,15 @@ import (
 func main() {
 	var (
 		which = flag.String("experiment", "all",
-			"experiment to run: all, fig3, fig4, fig5, fig6, table1, fig7, fig8, fig9, fig10, setup, fairness, ablations, perf")
+			"experiment to run: all, fig3, fig4, fig5, fig6, table1, fig7, fig8, fig9, fig10, setup, fairness, ablations, failure, perf")
 		quick   = flag.Bool("quick", false, "use reduced sweeps so the whole run finishes quickly")
-		csv     = flag.Bool("csv", false, "print adaptation traces (fig8-10) as CSV")
+		csv     = flag.Bool("csv", false, "print adaptation traces (fig8-10, failure) as CSV")
 		perfOut = flag.String("perfout", "BENCH_1.json", "output path for the perf snapshot written by -experiment perf")
+		perfPR  = flag.Int("pr", 1, "PR number stamped into the perf snapshot")
 	)
 	flag.Parse()
 
-	runner := &benchRunner{quick: *quick, csv: *csv, perfOut: *perfOut}
+	runner := &benchRunner{quick: *quick, csv: *csv, perfOut: *perfOut, perfPR: *perfPR}
 	selected := strings.Split(strings.ToLower(*which), ",")
 	ran := 0
 	for _, name := range selected {
@@ -58,6 +60,7 @@ type benchRunner struct {
 	quick   bool
 	csv     bool
 	perfOut string
+	perfPR  int
 }
 
 func (b *benchRunner) run(name string) bool {
@@ -112,10 +115,27 @@ func (b *benchRunner) run(name string) bool {
 		b.section(experiments.RunAblationInitialWindow().Table())
 		b.section(experiments.RunAblationBulkCalls(32).Table())
 		b.section(experiments.RunAblationScheduler().Table())
+	case "failure":
+		// Beyond the paper (so not part of "all"): adaptation when the path
+		// fails outright instead of merely congesting.
+		cfg := experiments.FailureConfig{}
+		if b.quick {
+			cfg = experiments.FailureConfig{DownAt: 3 * time.Second, UpAt: 6 * time.Second, Duration: 15 * time.Second}
+		}
+		res, err := experiments.RunFailure(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "failure experiment: %v\n", err)
+			os.Exit(1)
+		}
+		if b.csv {
+			b.section(res.CSV())
+		} else {
+			b.section(res.Table())
+		}
 	case "perf":
 		// Deliberately not part of "all": the perf snapshot is a tooling
 		// artifact, not a paper experiment.
-		if err := runPerf(b.perfOut); err != nil {
+		if err := runPerf(b.perfOut, b.perfPR); err != nil {
 			fmt.Fprintf(os.Stderr, "perf snapshot failed: %v\n", err)
 			os.Exit(1)
 		}

@@ -32,8 +32,8 @@ type perfSnapshot struct {
 }
 
 // runPerf measures the simulation core's hot loops with testing.Benchmark and
-// writes the snapshot to path.
-func runPerf(path string) error {
+// writes the snapshot to path, stamped with the given PR number.
+func runPerf(path string, pr int) error {
 	benches := []struct {
 		name string
 		fn   func(b *testing.B)
@@ -45,7 +45,7 @@ func runPerf(path string) error {
 		{"cm/charge_path_1k_flows", benchChargePath1k},
 		{"cm/round_robin_1k_flows", benchRoundRobin1k},
 	}
-	snap := perfSnapshot{PR: 1, GoVersion: runtime.Version(), GOARCH: runtime.GOARCH}
+	snap := perfSnapshot{PR: pr, GoVersion: runtime.Version(), GOARCH: runtime.GOARCH}
 	for _, bench := range benches {
 		r := testing.Benchmark(bench.fn)
 		res := perfResult{

@@ -148,22 +148,42 @@ func printResult(o scenario.RunOutcome) {
 	}
 	r := o.Result
 	fmt.Printf("scenario %s: %d flow(s), virtual time %v\n", r.Scenario, len(r.Flows), r.EndTime.Round(time.Millisecond))
+	for _, ev := range r.Events {
+		fired := "fired"
+		if !ev.Fired {
+			fired = "not fired"
+		}
+		dir := ev.Direction
+		if dir == "" {
+			dir = "both"
+		}
+		fmt.Printf("  event t=%v %s link=%d dir=%s %s routes-changed=%d\n",
+			ev.At, ev.Kind, ev.Link, dir, fired, ev.RoutesChanged)
+	}
 	for _, f := range r.Flows {
 		status := "ok"
 		if !f.Completed {
 			status = "incomplete"
 		}
-		fmt.Printf("  flow %d.%d %s->%s:%d [%s] %s delivered=%d elapsed=%v throughput=%.0f KB/s rtx=%d timeouts=%d srtt=%v\n",
+		extra := ""
+		if f.LayerSwitches > 0 {
+			extra = fmt.Sprintf(" layer-switches=%d", f.LayerSwitches)
+		}
+		fmt.Printf("  flow %d.%d %s->%s:%d [%s] %s delivered=%d elapsed=%v throughput=%.0f KB/s rtx=%d timeouts=%d srtt=%v%s\n",
 			f.Workload, f.Flow, f.From, f.To, f.Port, f.CC, status,
 			f.Delivered, f.Elapsed.Round(time.Millisecond), f.ThroughputKBps,
-			f.Retransmissions, f.Timeouts, f.SRTT.Round(time.Millisecond))
+			f.Retransmissions, f.Timeouts, f.SRTT.Round(time.Millisecond), extra)
 	}
 	for _, l := range r.Links {
-		if l.SentPackets == 0 {
+		if l.SentPackets == 0 && l.DownDrops == 0 {
 			continue
 		}
-		fmt.Printf("  link %s: sent=%d drops(queue/random)=%d/%d delivered=%dB\n",
-			l.Name, l.SentPackets, l.QueueDrops, l.RandomDrops, l.DeliveredOctets)
+		fmt.Printf("  link %s: sent=%d drops(queue/bernoulli/burst/down)=%d/%d/%d/%d delivered=%dB",
+			l.Name, l.SentPackets, l.QueueDrops, l.BernoulliDrops, l.BurstDrops, l.DownDrops, l.DeliveredOctets)
+		if l.GEGoodPackets+l.GEBadPackets > 0 {
+			fmt.Printf(" ge(good/bad/transitions)=%d/%d/%d", l.GEGoodPackets, l.GEBadPackets, l.GETransitions)
+		}
+		fmt.Println()
 	}
 	for _, h := range r.Hosts {
 		if !h.Router {

@@ -363,6 +363,14 @@ func (cm *CM) MacroflowOf(f FlowID) *Macroflow {
 	return nil
 }
 
+// MacroflowTo returns the default (unsplit) macroflow aggregating flows to
+// dstHost, or nil if no flow to that destination has been opened. Experiments
+// use it to observe a destination's shared congestion state without holding a
+// flow handle.
+func (cm *CM) MacroflowTo(dstHost string) *Macroflow {
+	return cm.macroflows[macroflowKey{dstHost: dstHost}]
+}
+
 // macroflowFor returns (creating if necessary) the macroflow for a key.
 func (cm *CM) macroflowFor(key macroflowKey) *Macroflow {
 	if mf, ok := cm.macroflows[key]; ok {

@@ -1,0 +1,215 @@
+// Package dynamics is the network-dynamics subsystem of the reproduction: a
+// deterministic timeline of scheduled events that change the network while a
+// simulation is running. The Congestion Manager's value proposition is
+// adaptation, so scenarios must be able to declare the churn the CM adapts
+// to — links failing and recovering, bandwidth and delay renegotiating,
+// loss turning bursty — instead of freezing every parameter at Build time.
+//
+// An Event names a link of the scenario's topology (by index into
+// Spec.Links), a virtual time and a change to apply. The Timeline schedules
+// every event on the simulation's scheduler; events with At <= 0 are applied
+// during installation, before any packet is sent, so static asymmetries can
+// be declared as time-zero events. Link up/down events additionally trigger
+// the owner's route-recomputation hook, and each event's outcome (fired,
+// routes changed) is recorded so results can report the timeline that
+// actually executed.
+//
+// Everything is deterministic: events fire at declared virtual times in
+// declaration order, loss models draw from per-link seeded sources, and the
+// records are value types — a scenario with a timeline still produces
+// byte-identical results whether it runs serially or in a parallel batch.
+package dynamics
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+)
+
+// Event kinds.
+const (
+	// LinkDown takes the target link out of service: arriving packets are
+	// dropped (DownDrops), queued packets are held, and routes are
+	// recomputed around the outage.
+	LinkDown = "link-down"
+	// LinkUp returns the link to service and recomputes routes.
+	LinkUp = "link-up"
+	// SetBandwidth changes the link's serialisation rate to Bandwidth.
+	SetBandwidth = "set-bandwidth"
+	// SetDelay changes the link's propagation delay to Delay.
+	SetDelay = "set-delay"
+	// SetLoss changes the link's independent Bernoulli drop rate to LossRate.
+	SetLoss = "set-loss"
+	// SetGilbert installs (or with a nil Gilbert field, removes) the
+	// two-state bursty loss model.
+	SetGilbert = "set-gilbert"
+)
+
+// Directions select which half of a duplex link an event applies to.
+const (
+	// DirBoth (the default) applies the event to both directions.
+	DirBoth = "both"
+	// DirForward applies the event to the A->B direction of the link.
+	DirForward = "fwd"
+	// DirReverse applies the event to the B->A direction.
+	DirReverse = "rev"
+)
+
+// Event is one scheduled change to the network. Exactly the parameter named
+// by Kind is consulted; the others are ignored.
+type Event struct {
+	// At is the virtual time the event fires. At <= 0 fires during Timeline
+	// installation, before any traffic.
+	At time.Duration `json:"at"`
+	// Kind is one of the event-kind constants.
+	Kind string `json:"kind"`
+	// Link indexes the scenario's Links slice.
+	Link int `json:"link"`
+	// Direction is DirBoth (default), DirForward or DirReverse.
+	Direction string `json:"direction,omitempty"`
+
+	Bandwidth netsim.Bandwidth       `json:"bandwidth,omitempty"`
+	Delay     time.Duration          `json:"delay,omitempty"`
+	LossRate  float64                `json:"loss_rate,omitempty"`
+	Gilbert   *netsim.GilbertElliott `json:"gilbert,omitempty"`
+}
+
+// Validate checks the event against a topology with nlinks links.
+func (e Event) Validate(nlinks int) error {
+	if e.At < 0 {
+		return fmt.Errorf("dynamics: event at %v in the past", e.At)
+	}
+	if e.Link < 0 || e.Link >= nlinks {
+		return fmt.Errorf("dynamics: event link %d out of range [0,%d)", e.Link, nlinks)
+	}
+	switch e.Direction {
+	case "", DirBoth, DirForward, DirReverse:
+	default:
+		return fmt.Errorf("dynamics: event direction %q unknown", e.Direction)
+	}
+	switch e.Kind {
+	case LinkDown, LinkUp:
+	case SetBandwidth:
+		if e.Bandwidth <= 0 {
+			return fmt.Errorf("dynamics: %s event needs bandwidth > 0", e.Kind)
+		}
+	case SetDelay:
+		if e.Delay < 0 {
+			return fmt.Errorf("dynamics: %s event needs delay >= 0", e.Kind)
+		}
+	case SetLoss:
+		if e.LossRate < 0 || e.LossRate > 1 {
+			return fmt.Errorf("dynamics: %s event loss rate %v out of [0,1]", e.Kind, e.LossRate)
+		}
+	case SetGilbert:
+		if e.Gilbert != nil {
+			if err := e.Gilbert.Validate(); err != nil {
+				return fmt.Errorf("dynamics: %s event: %w", e.Kind, err)
+			}
+		}
+	default:
+		return fmt.Errorf("dynamics: event kind %q unknown", e.Kind)
+	}
+	return nil
+}
+
+// topologyEvent reports whether the event changes link reachability and so
+// requires a route recomputation.
+func (e Event) topologyEvent() bool { return e.Kind == LinkDown || e.Kind == LinkUp }
+
+// Record is the executed outcome of one event, reported in scenario results.
+// It contains only value types and serialises deterministically.
+type Record struct {
+	Event
+	// Fired is false for events scheduled past the end of the run.
+	Fired bool `json:"fired"`
+	// RoutesChanged counts routing-table entries that changed across all
+	// hosts when the event triggered a route recomputation.
+	RoutesChanged int `json:"routes_changed,omitempty"`
+}
+
+// Resolver maps an event's (link index, direction) to the directional links
+// it applies to. The scenario layer supplies one backed by its duplexes.
+type Resolver func(link int, direction string) []*netsim.Link
+
+// TopologyHook is invoked after a link up/down event has been applied; it
+// recomputes and installs routes, returning the number of changed entries.
+type TopologyHook func(ev Event) int
+
+// Timeline owns a scenario's scheduled events and their execution records.
+type Timeline struct {
+	sched    *simtime.Scheduler
+	resolve  Resolver
+	onChange TopologyHook
+	recs     []Record
+}
+
+// NewTimeline builds a timeline over the given events. resolve is required;
+// onChange may be nil when the owner has no routing to maintain.
+func NewTimeline(sched *simtime.Scheduler, events []Event, resolve Resolver, onChange TopologyHook) *Timeline {
+	if sched == nil || resolve == nil {
+		panic("dynamics: NewTimeline requires a scheduler and a resolver")
+	}
+	t := &Timeline{sched: sched, resolve: resolve, onChange: onChange}
+	t.recs = make([]Record, len(events))
+	for i, ev := range events {
+		t.recs[i] = Record{Event: ev}
+	}
+	return t
+}
+
+// Install schedules every event. Events with At <= 0 are applied immediately
+// (before the scheduler runs), so time-zero events configure the network
+// before the first packet. Install must be called exactly once.
+func (t *Timeline) Install() {
+	for i := range t.recs {
+		if t.recs[i].At <= 0 {
+			t.fire(i)
+			continue
+		}
+		idx := i
+		t.sched.At(t.recs[i].At, func() { t.fire(idx) })
+	}
+}
+
+// fire applies event i to its resolved links and records the outcome.
+func (t *Timeline) fire(i int) {
+	rec := &t.recs[i]
+	rec.Fired = true
+	dir := rec.Direction
+	if dir == "" {
+		dir = DirBoth
+	}
+	for _, l := range t.resolve(rec.Link, dir) {
+		applyToLink(rec.Event, l)
+	}
+	if rec.topologyEvent() && t.onChange != nil {
+		rec.RoutesChanged = t.onChange(rec.Event)
+	}
+}
+
+// applyToLink performs the event's change on one directional link.
+func applyToLink(ev Event, l *netsim.Link) {
+	switch ev.Kind {
+	case LinkDown:
+		l.SetDown(true)
+	case LinkUp:
+		l.SetDown(false)
+	case SetBandwidth:
+		l.SetBandwidth(ev.Bandwidth)
+	case SetDelay:
+		l.SetDelay(ev.Delay)
+	case SetLoss:
+		l.SetLossRate(ev.LossRate)
+	case SetGilbert:
+		l.SetGilbert(ev.Gilbert)
+	}
+}
+
+// Records returns a copy of the per-event execution records, in declaration
+// order.
+func (t *Timeline) Records() []Record {
+	return append([]Record(nil), t.recs...)
+}

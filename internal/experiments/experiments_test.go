@@ -312,3 +312,32 @@ func TestAblationScheduler(t *testing.T) {
 		t.Fatal("table rendering broken")
 	}
 }
+
+// TestRunFailureBackoffAndRecovery checks the adaptation-under-failure
+// runner's headline numbers: the macroflow window collapses during the
+// scheduled outage and re-probes after recovery, and both timeline events
+// execute.
+func TestRunFailureBackoffAndRecovery(t *testing.T) {
+	res, err := RunFailure(FailureConfig{
+		DownAt:   4 * time.Second,
+		UpAt:     7 * time.Second,
+		Duration: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WindowDuring >= res.WindowBefore/2 {
+		t.Fatalf("window did not back off during outage: before=%d during=%d",
+			res.WindowBefore, res.WindowDuring)
+	}
+	if res.WindowAfter <= res.WindowDuring {
+		t.Fatalf("window did not recover after link-up: during=%d after=%d",
+			res.WindowDuring, res.WindowAfter)
+	}
+	if len(res.Result.Events) != 2 || !res.Result.Events[0].Fired || !res.Result.Events[1].Fired {
+		t.Fatalf("event records wrong: %+v", res.Result.Events)
+	}
+	if res.Window.Len() == 0 || res.Rate.Len() != res.Window.Len() {
+		t.Fatalf("trace lengths wrong: window=%d rate=%d", res.Window.Len(), res.Rate.Len())
+	}
+}

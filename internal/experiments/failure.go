@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+// FailureConfig parameterises the adaptation-under-failure experiment: a
+// dumbbell whose shared bottleneck fails and recovers on a schedule while the
+// senders' CM macroflows are observed. The paper's evaluation varies
+// available bandwidth with cross traffic (Figures 8-10); this runner goes
+// further and removes the path entirely, the churn the dynamics subsystem
+// exists to model.
+type FailureConfig struct {
+	// DownAt / UpAt bracket the bottleneck outage (defaults 6 s / 10 s).
+	DownAt, UpAt time.Duration
+	// Duration is the trace length (default 30 s).
+	Duration time.Duration
+	// SampleEvery is the observation interval (default 250 ms).
+	SampleEvery time.Duration
+	Seed        int64
+}
+
+func (c *FailureConfig) fillDefaults() {
+	if c.DownAt <= 0 {
+		c.DownAt = 6 * time.Second
+	}
+	if c.UpAt <= c.DownAt {
+		c.UpAt = c.DownAt + 4*time.Second
+	}
+	if c.Duration <= 0 {
+		c.Duration = 30 * time.Second
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 250 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// FailureResult holds the observed traces of one adaptation-under-failure
+// run.
+type FailureResult struct {
+	Config FailureConfig
+	// Window is the s0->d0 macroflow congestion window in bytes, sampled
+	// every SampleEvery.
+	Window *trace.Series
+	// Rate is the macroflow's sustainable-rate estimate (bytes/second).
+	Rate *trace.Series
+	// WindowBefore/WindowDuring/WindowAfter summarise the back-off story:
+	// the window just before the outage, at the end of the outage, and at
+	// the end of the run.
+	WindowBefore, WindowDuring, WindowAfter int
+	// Result is the scenario outcome, including the executed event records.
+	Result *scenario.Result
+}
+
+// RunFailure executes the adaptation-under-failure experiment.
+func RunFailure(cfg FailureConfig) (FailureResult, error) {
+	cfg.fillDefaults()
+	spec := scenario.FlakyDumbbell(scenario.FlakyDumbbellParams{
+		DownAt: cfg.DownAt,
+		UpAt:   cfg.UpAt,
+		Dumbbell: scenario.DumbbellParams{
+			Duration: cfg.Duration,
+			Seed:     cfg.Seed,
+		},
+	})
+	sim, err := scenario.Build(spec)
+	if err != nil {
+		return FailureResult{Config: cfg}, err
+	}
+	if err := sim.Start(); err != nil {
+		return FailureResult{Config: cfg}, err
+	}
+	sched := sim.Scheduler()
+	res := FailureResult{
+		Config: cfg,
+		Window: trace.NewSeries("macroflow-cwnd"),
+		Rate:   trace.NewSeries("macroflow-rate"),
+	}
+	for t := cfg.SampleEvery; t <= cfg.Duration; t += cfg.SampleEvery {
+		sched.RunUntil(t)
+		mf := sim.CM("s0").MacroflowTo("d0")
+		if mf == nil {
+			continue
+		}
+		res.Window.Add(t, float64(mf.Window()))
+		res.Rate.Add(t, mf.Rate())
+		switch {
+		case t <= cfg.DownAt:
+			res.WindowBefore = mf.Window()
+		case t <= cfg.UpAt:
+			res.WindowDuring = mf.Window()
+		default:
+			res.WindowAfter = mf.Window()
+		}
+	}
+	sched.RunUntil(cfg.Duration)
+	res.Result = sim.Finish()
+	return res, nil
+}
+
+// Table renders the trace and the back-off/recovery summary.
+func (r FailureResult) Table() string {
+	rows := make([][]string, 0, r.Window.Len())
+	for i := 0; i < r.Window.Len(); i++ {
+		w := r.Window.At(i)
+		rate := 0.0
+		if i < r.Rate.Len() {
+			rate = r.Rate.At(i).V
+		}
+		phase := "up"
+		if w.T > r.Config.DownAt && w.T <= r.Config.UpAt {
+			phase = "DOWN"
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f", w.T.Seconds()),
+			phase,
+			fmt.Sprintf("%.0f", w.V/1024),
+			fmt.Sprintf("%.0f", rate/1024),
+		})
+	}
+	title := fmt.Sprintf(
+		"Adaptation under failure (bottleneck down %v-%v): s0->d0 macroflow cwnd %dKB before, %dKB during outage, %dKB after recovery\n",
+		r.Config.DownAt, r.Config.UpAt,
+		r.WindowBefore/1024, r.WindowDuring/1024, r.WindowAfter/1024)
+	if r.Result != nil {
+		for _, ev := range r.Result.Events {
+			title += fmt.Sprintf("event t=%v %s link=%d fired=%v routes-changed=%d\n",
+				ev.At, ev.Kind, ev.Link, ev.Fired, ev.RoutesChanged)
+		}
+	}
+	return title + formatTable([]string{"t(s)", "link", "cwnd KB", "rate KB/s"}, rows)
+}
+
+// CSV renders the failure traces for plotting.
+func (r FailureResult) CSV() string {
+	return trace.CSV(r.Window, r.Rate)
+}

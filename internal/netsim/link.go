@@ -72,6 +72,10 @@ type LinkConfig struct {
 	// ECNThresholdPackets enables CE marking of ECN-capable packets when the
 	// queue depth reaches the threshold.
 	ECNThresholdPackets int
+	// Gilbert enables the two-state bursty loss model alongside the Bernoulli
+	// LossRate knob. It advances on every offered packet (it is sampled
+	// before the Bernoulli draw). Nil disables it.
+	Gilbert *GilbertElliott
 	// Seed seeds the link's private random source so loss patterns are
 	// reproducible. A zero seed uses 1.
 	Seed int64
@@ -79,12 +83,27 @@ type LinkConfig struct {
 
 // LinkStats are cumulative counters for a link.
 type LinkStats struct {
-	SentPackets     int
-	SentBytes       int64
-	RandomDrops     int
-	QueueDrops      int
-	Reordered       int
-	Duplicated      int
+	SentPackets int
+	SentBytes   int64
+	// RandomDrops is the sum of BernoulliDrops and BurstDrops, kept so the
+	// JSON encoding of results predating the split still reads the same.
+	RandomDrops int
+	// BernoulliDrops counts independent LossRate drops; BurstDrops counts
+	// drops by the Gilbert-Elliott model.
+	BernoulliDrops int
+	BurstDrops     int
+	// DownDrops counts packets offered while the link was administratively
+	// down (a scheduled outage).
+	DownDrops  int
+	QueueDrops int
+	Reordered  int
+	Duplicated int
+	// GEGoodPackets / GEBadPackets count packet arrivals per Gilbert-Elliott
+	// state (the model's state occupancy, measured in offered packets);
+	// GETransitions counts state flips.
+	GEGoodPackets   int
+	GEBadPackets    int
+	GETransitions   int
 	DeliveredAt     time.Duration // virtual time of the most recent delivery
 	BusyTime        time.Duration // cumulative serialisation time
 	DeliveredOctets int64
@@ -94,6 +113,14 @@ type LinkStats struct {
 // drop-tail queue and optional random loss. Packets presented with Send are
 // queued, serialised in FIFO order at the link rate, and delivered to the
 // destination Receiver after the propagation delay.
+//
+// Links are mutable mid-run: the dynamics subsystem may take a link down,
+// bring it back up, or swap bandwidth/delay/loss parameters while packets are
+// in flight. Parameter changes apply to packets serialised after the change;
+// packets already serialising or propagating complete under the old
+// parameters (their delivery events are already scheduled). While a link is
+// down, newly offered packets are dropped and queued packets are held; the
+// queue resumes draining when the link comes back up.
 type Link struct {
 	cfg   LinkConfig
 	sched *simtime.Scheduler
@@ -101,8 +128,18 @@ type Link struct {
 	queue *Queue
 	rng   *rand.Rand
 
-	busy  bool
-	stats LinkStats
+	// gilbert is the installed bursty-loss model (nil = disabled); geBad is
+	// its current state.
+	gilbert *GilbertElliott
+	geBad   bool
+
+	busy bool
+	down bool
+	// txDelay is the propagation delay captured when the in-flight packet
+	// started serialising, so a set-delay event applies only to packets
+	// serialised after it.
+	txDelay time.Duration
+	stats   LinkStats
 
 	// tap, when non-nil, observes every packet that is delivered (after
 	// loss and queueing). Experiments use taps to trace rates.
@@ -142,6 +179,10 @@ func NewLink(sched *simtime.Scheduler, cfg LinkConfig, dst Receiver) *Link {
 		queue: q,
 		rng:   rand.New(rand.NewSource(seed)),
 	}
+	if cfg.Gilbert != nil {
+		g := cfg.Gilbert.withDefaults()
+		l.gilbert = &g
+	}
 	l.txDone = func(x any) {
 		l.deliver(x.(*Packet))
 		l.startTransmit()
@@ -157,11 +198,64 @@ func (l *Link) SetDestination(dst Receiver) { l.dst = dst }
 func (l *Link) SetTap(fn func(pkt *Packet)) { l.tap = fn }
 
 // SetDropTap installs an observer invoked for every dropped packet with the
-// reason ("loss" for random loss, "queue" for buffer overflow).
+// reason ("loss" for Bernoulli loss, "burst" for Gilbert-Elliott loss, "down"
+// for an out-of-service link, "queue" for buffer overflow).
 func (l *Link) SetDropTap(fn func(pkt *Packet, reason string)) { l.dropTap = fn }
 
-// Config returns the link configuration.
-func (l *Link) Config() LinkConfig { return l.cfg }
+// Config returns a snapshot of the link configuration. For a link whose
+// parameters were changed mid-run, it reflects the current values; the
+// Gilbert field is a defensive copy of the live model (with its defaults
+// normalised), so mutating the snapshot never affects the running link.
+func (l *Link) Config() LinkConfig {
+	cfg := l.cfg
+	if l.gilbert != nil {
+		g := *l.gilbert
+		cfg.Gilbert = &g
+	} else {
+		cfg.Gilbert = nil
+	}
+	return cfg
+}
+
+// SetBandwidth changes the serialisation rate. The packet currently being
+// serialised (if any) completes at the old rate.
+func (l *Link) SetBandwidth(bw Bandwidth) { l.cfg.Bandwidth = bw }
+
+// SetDelay changes the propagation delay for packets delivered after the call.
+func (l *Link) SetDelay(d time.Duration) { l.cfg.Delay = d }
+
+// SetLossRate changes the independent Bernoulli drop probability.
+func (l *Link) SetLossRate(p float64) { l.cfg.LossRate = p }
+
+// SetGilbert installs (or, with nil, removes) the bursty loss model. The model
+// starts in the Good state; replacing a model resets its state.
+func (l *Link) SetGilbert(g *GilbertElliott) {
+	l.geBad = false
+	if g == nil {
+		l.gilbert = nil
+		return
+	}
+	ng := g.withDefaults()
+	l.gilbert = &ng
+}
+
+// SetDown takes the link down (true) or brings it back up (false). While down,
+// offered packets are dropped (counted as DownDrops) and already-queued
+// packets are held; bringing the link up resumes draining the queue. Packets
+// already serialising or propagating when the link goes down complete
+// normally, matching an outage that begins behind them.
+func (l *Link) SetDown(down bool) {
+	if l.down == down {
+		return
+	}
+	l.down = down
+	if !down && !l.busy {
+		l.startTransmit()
+	}
+}
+
+// IsDown reports whether the link is administratively down.
+func (l *Link) IsDown() bool { return l.down }
 
 // Stats returns a copy of the link counters.
 func (l *Link) Stats() LinkStats { return l.stats }
@@ -189,8 +283,29 @@ func (l *Link) Send(pkt *Packet) bool {
 	if pkt == nil {
 		panic("netsim: Send(nil)")
 	}
+	if l.down {
+		l.stats.DownDrops++
+		if l.dropTap != nil {
+			l.dropTap(pkt, "down")
+		}
+		pkt.Release()
+		return false
+	}
+	// The Gilbert-Elliott process advances for every offered packet (its
+	// occupancy counters are defined over offered packets), so it is sampled
+	// before the memoryless Bernoulli knob.
+	if l.gilbert != nil && l.geStep() {
+		l.stats.RandomDrops++
+		l.stats.BurstDrops++
+		if l.dropTap != nil {
+			l.dropTap(pkt, "burst")
+		}
+		pkt.Release()
+		return false
+	}
 	if l.cfg.LossRate > 0 && l.rng.Float64() < l.cfg.LossRate {
 		l.stats.RandomDrops++
+		l.stats.BernoulliDrops++
 		if l.dropTap != nil {
 			l.dropTap(pkt, "loss")
 		}
@@ -215,8 +330,13 @@ func (l *Link) Send(pkt *Packet) bool {
 }
 
 // startTransmit serialises the head-of-line packet and schedules its delivery
-// and the next transmission.
+// and the next transmission. A down link does not serialise: queued packets
+// wait for SetDown(false).
 func (l *Link) startTransmit() {
+	if l.down {
+		l.busy = false
+		return
+	}
 	pkt := l.queue.Dequeue()
 	if pkt == nil {
 		l.busy = false
@@ -225,6 +345,7 @@ func (l *Link) startTransmit() {
 	l.busy = true
 	txTime := l.cfg.Bandwidth.TransmitTime(pkt.Size)
 	l.stats.BusyTime += txTime
+	l.txDelay = l.cfg.Delay
 	// Delivery happens after serialisation plus propagation; the link is
 	// free to serialise the next packet as soon as this one has left.
 	l.sched.AfterArg(txTime, l.txDone, pkt)
@@ -233,7 +354,11 @@ func (l *Link) startTransmit() {
 func (l *Link) deliver(pkt *Packet) {
 	l.stats.SentPackets++
 	l.stats.SentBytes += int64(pkt.Size)
-	delay := l.cfg.Delay
+	// The delay captured at serialisation start: a set-delay event never
+	// retimes the packet that was already on the wire. (A delay reduction can
+	// still deliver a later packet before an earlier one — two packets really
+	// are in flight on different-length paths, as after a route change.)
+	delay := l.txDelay
 	if l.cfg.ReorderRate > 0 && l.rng.Float64() < l.cfg.ReorderRate {
 		extra := l.cfg.ReorderDelay
 		if extra <= 0 {

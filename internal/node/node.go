@@ -126,6 +126,32 @@ func (h *Host) AddRoute(dstHost string, link *netsim.Link) {
 // SetDefaultRoute sets the link used for destinations with no explicit route.
 func (h *Host) SetDefaultRoute(link *netsim.Link) { h.def = link }
 
+// InstallRoutes atomically replaces the host's routing table with the given
+// destination->link map (the default route is untouched). Packets forwarded
+// after the call use only the new table — there is no partially updated state,
+// which is what lets the dynamics subsystem recompute routes mid-run while
+// packets are in flight. It returns the number of table entries that changed
+// (added, removed or repointed), the per-host measure of a routing event's
+// blast radius. The caller must not retain the map.
+func (h *Host) InstallRoutes(routes map[string]*netsim.Link) int {
+	if routes == nil {
+		routes = make(map[string]*netsim.Link)
+	}
+	changed := 0
+	for dst, l := range routes {
+		if old, ok := h.routes[dst]; !ok || old != l {
+			changed++
+		}
+	}
+	for dst := range h.routes {
+		if _, ok := routes[dst]; !ok {
+			changed++
+		}
+	}
+	h.routes = routes
+	return changed
+}
+
 // RouteTo returns the link used to reach dstHost, or nil if unroutable.
 func (h *Host) RouteTo(dstHost string) *netsim.Link {
 	if l, ok := h.routes[dstHost]; ok {

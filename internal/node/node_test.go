@@ -391,3 +391,40 @@ func TestNonForwardingHostDropsTransit(t *testing.T) {
 		t.Fatalf("RouteMissDrops = %d, want 1", d)
 	}
 }
+
+// TestInstallRoutesAtomicSwap checks the route-table replacement used by the
+// dynamics subsystem: the new table fully replaces the old one, the change
+// count reflects added/removed/repointed entries, and forwarding immediately
+// honours the new table.
+func TestInstallRoutesAtomicSwap(t *testing.T) {
+	s := simtime.NewScheduler()
+	net := NewNetwork(s)
+	d1 := net.ConnectDuplex("a", "b", lanCfg())
+	d2 := net.ConnectDuplex("a", "c", lanCfg())
+	h := net.Host("a")
+
+	// ConnectDuplex installed {b: d1.Forward, c: d2.Forward}. Repoint b via c,
+	// drop c, add d.
+	changed := h.InstallRoutes(map[string]*netsim.Link{
+		"b": d2.Forward,
+		"d": d1.Forward,
+	})
+	if changed != 3 {
+		t.Fatalf("changed = %d, want 3 (b repointed, c removed, d added)", changed)
+	}
+	if h.RouteTo("b") != d2.Forward || h.RouteTo("c") != nil || h.RouteTo("d") != d1.Forward {
+		t.Fatal("table not atomically replaced")
+	}
+	// Installing the identical table changes nothing.
+	if changed := h.InstallRoutes(map[string]*netsim.Link{"b": d2.Forward, "d": d1.Forward}); changed != 0 {
+		t.Fatalf("idempotent install changed %d entries", changed)
+	}
+	// A nil table empties the host's routes; sends then count NoRouteDrops.
+	if changed := h.InstallRoutes(nil); changed != 2 {
+		t.Fatalf("clearing changed %d entries, want 2", changed)
+	}
+	h.Output(&netsim.Packet{Proto: netsim.ProtoUDP, Dst: netsim.Addr{Host: "b", Port: 1}, Size: 10})
+	if drops := h.Stats().NoRouteDrops; drops != 1 {
+		t.Fatalf("NoRouteDrops = %d, want 1", drops)
+	}
+}

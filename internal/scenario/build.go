@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/cm"
+	"repro/internal/dynamics"
 	"repro/internal/netsim"
 	"repro/internal/node"
 	"repro/internal/simtime"
@@ -13,7 +14,8 @@ import (
 // Sim is a built scenario: the wired topology, its scheduler and the
 // Congestion Managers, ready to run. Experiments that need programmatic
 // workloads (custom applications, taps, ablations) use Build directly and
-// drive the scheduler themselves; declarative workloads go through Run.
+// drive the scheduler themselves; declarative workloads go through Run (or
+// Start + Finish when the caller drives the clock).
 type Sim struct {
 	Spec  Spec
 	sched *simtime.Scheduler
@@ -24,11 +26,22 @@ type Sim struct {
 	duplexes []*netsim.Duplex
 	cms      map[string]*cm.CM
 	cmHosts  []string // deterministic order of cms keys
+
+	// linkFrom[a][b] is the directional link a->b; neighbors[a] lists a's
+	// adjacent nodes in first-mention order. Both are retained after Build so
+	// the dynamics timeline can recompute routes when links fail or recover.
+	linkFrom  map[string]map[string]*netsim.Link
+	neighbors map[string][]string
+	timeline  *dynamics.Timeline
+
+	// drivers track the declarative workloads once Start has run.
+	drivers []*flowDriver
+	started bool
 }
 
 // Build validates the spec, creates the hosts, routers and links, computes
-// shortest-path routes between every pair of nodes, and installs Congestion
-// Managers on the CM hosts.
+// shortest-path routes between every pair of nodes, installs Congestion
+// Managers on the CM hosts and schedules the spec's dynamics events.
 func Build(spec Spec) (*Sim, error) {
 	spec.fillDefaults()
 	if err := spec.Validate(); err != nil {
@@ -48,20 +61,19 @@ func Build(spec Spec) (*Sim, error) {
 	for _, r := range spec.Routers {
 		nw.Router(r)
 	}
-	// linkFrom[a][b] is the directional link a->b for adjacent nodes. The
-	// first link between a pair wins; parallel links would make next-hop
+	// The first link between a pair wins; parallel links would make next-hop
 	// routing ambiguous.
-	linkFrom := make(map[string]map[string]*netsim.Link)
-	neighbors := make(map[string][]string)
+	sim.linkFrom = make(map[string]map[string]*netsim.Link)
+	sim.neighbors = make(map[string][]string)
 	direction := func(from, to string, l *netsim.Link) error {
-		if linkFrom[from] == nil {
-			linkFrom[from] = make(map[string]*netsim.Link)
+		if sim.linkFrom[from] == nil {
+			sim.linkFrom[from] = make(map[string]*netsim.Link)
 		}
-		if _, dup := linkFrom[from][to]; dup {
+		if _, dup := sim.linkFrom[from][to]; dup {
 			return fmt.Errorf("scenario %q: duplicate link %s-%s", spec.Name, from, to)
 		}
-		linkFrom[from][to] = l
-		neighbors[from] = append(neighbors[from], to)
+		sim.linkFrom[from][to] = l
+		sim.neighbors[from] = append(sim.neighbors[from], to)
 		return nil
 	}
 	// Links with Seed zero get derived seeds. Each duplex consumes two seeds
@@ -106,7 +118,7 @@ func Build(spec Spec) (*Sim, error) {
 		}
 	}
 
-	sim.installRoutes(linkFrom, neighbors)
+	sim.recomputeRoutes()
 
 	cmHosts := append([]string(nil), spec.CMHosts...)
 	for _, w := range spec.Workloads {
@@ -124,7 +136,29 @@ func Build(spec Spec) (*Sim, error) {
 		sim.cmHosts = append(sim.cmHosts, h)
 		nw.Host(h).SetTransmitNotifier(c)
 	}
+
+	// The dynamics timeline is installed last so its time-zero events (static
+	// asymmetries and initial loss modes) see the fully wired topology.
+	if len(spec.Events) > 0 {
+		sim.timeline = dynamics.NewTimeline(sched, spec.Events, sim.resolveEventLinks,
+			func(dynamics.Event) int { return sim.recomputeRoutes() })
+		sim.timeline.Install()
+	}
 	return sim, nil
+}
+
+// resolveEventLinks maps an event's (link index, direction) onto the built
+// duplexes — the dynamics.Resolver for this simulation.
+func (s *Sim) resolveEventLinks(link int, direction string) []*netsim.Link {
+	d := s.duplexes[link]
+	switch direction {
+	case dynamics.DirForward:
+		return []*netsim.Link{d.Forward}
+	case dynamics.DirReverse:
+		return []*netsim.Link{d.Reverse}
+	default:
+		return []*netsim.Link{d.Forward, d.Reverse}
+	}
 }
 
 // MustBuild is Build for specs known statically correct (canned builders).
@@ -136,40 +170,56 @@ func MustBuild(spec Spec) *Sim {
 	return sim
 }
 
-// installRoutes runs a breadth-first search from every node over the link
-// adjacency and installs the next-hop link toward every other node. Ties are
-// broken by first-mention order, so route tables are deterministic.
-func (s *Sim) installRoutes(linkFrom map[string]map[string]*netsim.Link, neighbors map[string][]string) {
-	for _, src := range s.nodeNames {
-		// parent[v] is v's predecessor on the shortest path from src.
-		parent := map[string]string{src: src}
-		queue := []string{src}
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			for _, v := range neighbors[u] {
-				if _, ok := parent[v]; !ok {
-					parent[v] = u
-					queue = append(queue, v)
-				}
-			}
-		}
-		h := s.net.Host(src)
-		for _, dst := range s.nodeNames {
-			if dst == src {
+// routesFrom runs a breadth-first search from src over the link adjacency,
+// skipping links that are down, and returns the destination->next-hop-link
+// table. Ties are broken by first-mention order, so tables are deterministic.
+func (s *Sim) routesFrom(src string) map[string]*netsim.Link {
+	// parent[v] is v's predecessor on the shortest path from src.
+	parent := map[string]string{src: src}
+	queue := []string{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range s.neighbors[u] {
+			if s.linkFrom[u][v].IsDown() {
 				continue
 			}
-			if _, ok := parent[dst]; !ok {
-				continue // unreachable; Output will count a NoRouteDrop
+			if _, ok := parent[v]; !ok {
+				parent[v] = u
+				queue = append(queue, v)
 			}
-			// Walk back from dst to find src's next hop.
-			hop := dst
-			for parent[hop] != src {
-				hop = parent[hop]
-			}
-			h.AddRoute(dst, linkFrom[src][hop])
 		}
 	}
+	table := make(map[string]*netsim.Link)
+	for _, dst := range s.nodeNames {
+		if dst == src {
+			continue
+		}
+		if _, ok := parent[dst]; !ok {
+			continue // unreachable; Output will count a NoRouteDrop
+		}
+		// Walk back from dst to find src's next hop.
+		hop := dst
+		for parent[hop] != src {
+			hop = parent[hop]
+		}
+		table[dst] = s.linkFrom[src][hop]
+	}
+	return table
+}
+
+// recomputeRoutes rebuilds every node's routing table around the current link
+// up/down state and installs the new tables atomically, returning the total
+// number of changed entries. Build uses it for the initial installation; the
+// dynamics timeline calls it on link up/down, where packets already in flight
+// toward a withdrawn route are dropped at the next hop and counted as
+// route-miss (or no-route) drops.
+func (s *Sim) recomputeRoutes() int {
+	changed := 0
+	for _, src := range s.nodeNames {
+		changed += s.net.Host(src).InstallRoutes(s.routesFrom(src))
+	}
+	return changed
 }
 
 // Scheduler returns the simulation's private scheduler.
@@ -186,6 +236,9 @@ func (s *Sim) CM(host string) *cm.CM { return s.cms[host] }
 
 // Duplex returns the duplex realising Spec.Links[i].
 func (s *Sim) Duplex(i int) *netsim.Duplex { return s.duplexes[i] }
+
+// Timeline returns the dynamics timeline, or nil when the spec has no events.
+func (s *Sim) Timeline() *dynamics.Timeline { return s.timeline }
 
 // Nodes returns every node name in deterministic order.
 func (s *Sim) Nodes() []string { return append([]string(nil), s.nodeNames...) }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/dynamics"
 	"repro/internal/netsim"
 )
 
@@ -260,6 +261,169 @@ func Star(p StarParams) Spec {
 			Kind: kind, From: lname(i), To: lname((i + 1) % p.Leaves),
 			Bytes: p.Bytes, CC: p.CC,
 		})
+	}
+	return spec
+}
+
+// WirelessParams parameterises the wireless-like bursty-loss path.
+type WirelessParams struct {
+	// Bandwidth and OneWayDelay describe the channel (default 4 Mbps, 10 ms).
+	Bandwidth   netsim.Bandwidth
+	OneWayDelay time.Duration
+	// Gilbert is the ambient bursty loss process (default: rare fades with a
+	// mean burst of four packets dropping 50%).
+	Gilbert netsim.GilbertElliott
+	// FadeAt / FadeUntil bracket a scheduled deep fade during which the Bad
+	// state dominates; zero values default to 8 s and 13 s. FadeAt < 0
+	// disables the fade events.
+	FadeAt    time.Duration
+	FadeUntil time.Duration
+	Duration  time.Duration
+	Seed      int64
+}
+
+// Wireless builds sender<->receiver over a bursty (Gilbert-Elliott) channel
+// carrying one CM-managed TCP stream and one layered UDP stream in the
+// rate-callback mode. A scheduled deep fade makes the channel much worse
+// mid-run and then restores it, so the trace shows both transports backing
+// off and recovering — the wireless story the paper's adaptation section
+// assumes.
+func Wireless(p WirelessParams) Spec {
+	if p.Bandwidth == 0 {
+		p.Bandwidth = 4 * netsim.Mbps
+	}
+	if p.OneWayDelay <= 0 {
+		p.OneWayDelay = 10 * time.Millisecond
+	}
+	if p.Gilbert == (netsim.GilbertElliott{}) {
+		p.Gilbert = netsim.GilbertElliott{PGoodBad: 0.002, PBadGood: 0.25, LossBad: 0.5}
+	}
+	if p.FadeAt == 0 {
+		p.FadeAt = 8 * time.Second
+	}
+	if p.FadeUntil <= p.FadeAt {
+		p.FadeUntil = p.FadeAt + 5*time.Second
+	}
+	if p.Duration <= 0 {
+		p.Duration = 20 * time.Second
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	spec := Spec{
+		Name: "wireless",
+		Description: fmt.Sprintf("bursty-loss %s channel with a scheduled deep fade at %v",
+			p.Bandwidth, p.FadeAt),
+		Links: []LinkSpec{{A: "sender", B: "receiver", LinkConfig: netsim.LinkConfig{
+			Bandwidth:    p.Bandwidth,
+			Delay:        p.OneWayDelay,
+			QueuePackets: 100,
+			Gilbert:      &p.Gilbert,
+		}}},
+		Workloads: []Workload{
+			{Kind: KindStream, From: "sender", To: "receiver", CC: CCCM},
+			{Kind: KindUDPRate, From: "sender", To: "receiver"},
+		},
+		Duration: p.Duration,
+		Seed:     p.Seed,
+	}
+	if p.FadeAt >= 0 {
+		fade := netsim.GilbertElliott{PGoodBad: 0.05, PBadGood: 0.08, LossBad: 0.9}
+		restore := p.Gilbert
+		spec.Events = []dynamics.Event{
+			{At: p.FadeAt, Kind: dynamics.SetGilbert, Link: 0, Gilbert: &fade},
+			{At: p.FadeUntil, Kind: dynamics.SetGilbert, Link: 0, Gilbert: &restore},
+		}
+	}
+	return spec
+}
+
+// AsymmetricParams parameterises the bandwidth-asymmetric path.
+type AsymmetricParams struct {
+	// Forward and Reverse are the two directions' rates (defaults 10 Mbps
+	// and 128 Kbps — an ADSL-like ack-constrained path).
+	Forward, Reverse netsim.Bandwidth
+	// SqueezeAt halves the reverse channel mid-run (0 defaults to 10 s;
+	// negative disables the event).
+	SqueezeAt time.Duration
+	Duration  time.Duration
+	Seed      int64
+}
+
+// Asymmetric builds a point-to-point path whose reverse direction is orders
+// of magnitude slower than the forward one, declared as a time-zero dynamics
+// event on the duplex (per-direction parameters are link events, not static
+// spec fields). CM-managed bulk flows forward are ack-clocked through the
+// constrained reverse channel, which a scheduled squeeze then halves.
+func Asymmetric(p AsymmetricParams) Spec {
+	if p.Forward == 0 {
+		p.Forward = 10 * netsim.Mbps
+	}
+	if p.Reverse == 0 {
+		p.Reverse = 128 * netsim.Kbps
+	}
+	if p.SqueezeAt == 0 {
+		p.SqueezeAt = 10 * time.Second
+	}
+	if p.Duration <= 0 {
+		p.Duration = 20 * time.Second
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	spec := Spec{
+		Name: "asymmetric",
+		Description: fmt.Sprintf("%s forward / %s reverse ack-constrained path",
+			p.Forward, p.Reverse),
+		Links: []LinkSpec{{A: "sender", B: "receiver", LinkConfig: netsim.LinkConfig{
+			Bandwidth:    p.Forward,
+			Delay:        15 * time.Millisecond,
+			QueuePackets: 120,
+		}}},
+		Workloads: []Workload{
+			{Kind: KindStream, From: "sender", To: "receiver", Flows: 2, CC: CCCM},
+		},
+		Events: []dynamics.Event{
+			{At: 0, Kind: dynamics.SetBandwidth, Link: 0, Direction: dynamics.DirReverse, Bandwidth: p.Reverse},
+		},
+		Duration: p.Duration,
+		Seed:     p.Seed,
+	}
+	if p.SqueezeAt >= 0 {
+		spec.Events = append(spec.Events, dynamics.Event{
+			At: p.SqueezeAt, Kind: dynamics.SetBandwidth, Link: 0,
+			Direction: dynamics.DirReverse, Bandwidth: p.Reverse / 2,
+		})
+	}
+	return spec
+}
+
+// FlakyDumbbellParams parameterises the dumbbell with a scheduled bottleneck
+// outage.
+type FlakyDumbbellParams struct {
+	Dumbbell DumbbellParams
+	// DownAt / UpAt bracket the bottleneck outage (defaults 6 s and 10 s).
+	DownAt, UpAt time.Duration
+}
+
+// FlakyDumbbell is the dumbbell with its shared bottleneck scheduled to fail
+// and recover mid-run: CM macroflows collapse when the path disappears
+// (timeouts report persistent congestion) and probe back up after the link
+// returns — the adaptation-under-failure acceptance scenario.
+func FlakyDumbbell(p FlakyDumbbellParams) Spec {
+	if p.DownAt <= 0 {
+		p.DownAt = 6 * time.Second
+	}
+	if p.UpAt <= p.DownAt {
+		p.UpAt = p.DownAt + 4*time.Second
+	}
+	spec := Dumbbell(p.Dumbbell)
+	spec.Name = "flaky-dumbbell"
+	spec.Description = fmt.Sprintf("dumbbell whose bottleneck fails at %v and recovers at %v", p.DownAt, p.UpAt)
+	// The bottleneck is always Links[0] in the Dumbbell builder.
+	spec.Events = []dynamics.Event{
+		{At: p.DownAt, Kind: dynamics.LinkDown, Link: 0},
+		{At: p.UpAt, Kind: dynamics.LinkUp, Link: 0},
 	}
 	return spec
 }

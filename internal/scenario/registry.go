@@ -69,4 +69,13 @@ func init() {
 			Workloads: []Workload{{Kind: KindBulk, From: "sender", To: "receiver", Bytes: 2 << 20, CC: CCCM}},
 		})
 	})
+	Register("wireless", func() Spec {
+		return Wireless(WirelessParams{})
+	})
+	Register("asymmetric", func() Spec {
+		return Asymmetric(AsymmetricParams{})
+	})
+	Register("flaky-dumbbell", func() Spec {
+		return FlakyDumbbell(FlakyDumbbellParams{})
+	})
 }

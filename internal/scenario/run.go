@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/app"
 	"repro/internal/cm"
+	"repro/internal/dynamics"
+	"repro/internal/libcm"
 	"repro/internal/netsim"
 	"repro/internal/node"
 	"repro/internal/tcp"
@@ -34,6 +37,9 @@ type FlowResult struct {
 	Retransmissions int64         `json:"retransmissions"`
 	Timeouts        int64         `json:"timeouts"`
 	SRTT            time.Duration `json:"srtt"`
+	// LayerSwitches counts encoding-layer changes of a layered UDP workload
+	// (KindUDPRate / KindUDPALF); zero for TCP flows.
+	LayerSwitches int64 `json:"layer_switches,omitempty"`
 	// Error reports a flow that failed to start (e.g. a dial rejected after
 	// the run began); such flows are never Completed.
 	Error string `json:"error,omitempty"`
@@ -73,6 +79,9 @@ type Result struct {
 	Links    []LinkResult  `json:"links"`
 	Hosts    []HostResult  `json:"hosts"`
 	CMs      []CMResult    `json:"cms,omitempty"`
+	// Events records the executed dynamics timeline: which scheduled network
+	// events fired and how many routing-table entries each changed.
+	Events []dynamics.Record `json:"events,omitempty"`
 }
 
 // flowDriver tracks one declarative flow while the simulation runs.
@@ -80,6 +89,11 @@ type flowDriver struct {
 	res       *FlowResult
 	ep        *tcp.Endpoint
 	wantBytes int64
+	// udpFinish, set for layered UDP workloads, folds the application's
+	// end-of-run counters into the flow result; udpStarted records that the
+	// stream's (possibly delayed) start actually fired.
+	udpFinish  func(fr *FlowResult)
+	udpStarted bool
 }
 
 // Run builds the spec and executes its workloads for the configured
@@ -89,12 +103,35 @@ func Run(spec Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	drivers, err := sim.startWorkloads()
-	if err != nil {
+	if err := sim.Start(); err != nil {
 		return nil, err
 	}
 	sim.sched.RunUntil(sim.Spec.Duration)
-	return sim.collect(drivers), nil
+	return sim.Finish(), nil
+}
+
+// Start instantiates the spec's declarative workloads without running the
+// scheduler. Callers that need to observe the simulation mid-run (the
+// adaptation-under-failure experiment, the CM dynamics tests) use
+// Build + Start, drive the scheduler themselves, and then call Finish.
+func (s *Sim) Start() error {
+	if s.started {
+		return fmt.Errorf("scenario %q: Start called twice", s.Spec.Name)
+	}
+	s.started = true
+	drivers, err := s.startWorkloads()
+	if err != nil {
+		return err
+	}
+	s.drivers = drivers
+	return nil
+}
+
+// Finish freezes the simulation state into a Result. The scheduler is not
+// advanced; Finish reports whatever has happened up to the current virtual
+// time.
+func (s *Sim) Finish() *Result {
+	return s.collect(s.drivers)
 }
 
 // startWorkloads instantiates every declarative flow: a listener on the To
@@ -116,6 +153,13 @@ func (s *Sim) startWorkloads() ([]*flowDriver, error) {
 				d.wantBytes = int64(w.Bytes)
 			}
 			drivers = append(drivers, d)
+
+			if udpKind(w.Kind) {
+				if err := s.startUDPFlow(w, d, port); err != nil {
+					return nil, fmt.Errorf("scenario %q: workload %d flow %d: %w", s.Spec.Name, wi, fi, err)
+				}
+				continue
+			}
 
 			_, err := tcp.Listen(s.net.Host(w.To), port,
 				tcp.Config{DelayedAck: true, RecvWindow: w.RecvWindow},
@@ -171,11 +215,61 @@ func (s *Sim) startWorkloads() ([]*flowDriver, error) {
 	return drivers, nil
 }
 
+// startUDPFlow attaches one layered UDP streaming application (§3.4/§3.5):
+// a feedback-generating client on the To host and a libcm-driven layered
+// server on the From host, in the rate-callback (KindUDPRate) or ALF
+// (KindUDPALF) mode. Each flow gets its own libcm instance — one application,
+// one control socket — bound to the From host's Congestion Manager.
+func (s *Sim) startUDPFlow(w *Workload, d *flowDriver, port int) error {
+	client, err := app.NewLayeredClient(s.net.Host(w.To), port, app.FeedbackPolicy{}, 0)
+	if err != nil {
+		return err
+	}
+	mode := app.ModeRateCallback
+	if w.Kind == KindUDPALF {
+		mode = app.ModeALF
+	}
+	lib := libcm.New(s.cms[w.From], s.sched, libcm.ModeAuto)
+	srv, err := app.NewLayeredServer(s.net.Host(w.From), lib, client.Addr(), app.LayeredConfig{Mode: mode})
+	if err != nil {
+		return err
+	}
+	d.udpFinish = func(fr *FlowResult) {
+		fr.Delivered = client.TotalBytes()
+		fr.LayerSwitches = srv.Stats().LayerSwitches
+	}
+	start := func() {
+		d.udpStarted = true
+		d.res.Established = s.sched.Now()
+		srv.Start()
+	}
+	if w.Start > 0 {
+		s.sched.At(w.Start, start)
+	} else {
+		start()
+	}
+	return nil
+}
+
 // collect freezes the simulation state into a Result.
 func (s *Sim) collect(drivers []*flowDriver) *Result {
 	res := &Result{Scenario: s.Spec.Name, EndTime: s.sched.Now()}
 	for _, d := range drivers {
 		fr := *d.res
+		if d.udpFinish != nil {
+			// A layered UDP stream: fold in the application counters. The
+			// stream never completes; it runs from its start time to the end.
+			// A stream whose delayed start never fired reports zero elapsed.
+			d.udpFinish(&fr)
+			if d.udpStarted {
+				fr.Elapsed = s.sched.Now() - fr.Established
+			}
+			if fr.Elapsed > 0 {
+				fr.ThroughputKBps = float64(fr.Delivered) / fr.Elapsed.Seconds() / 1024
+			}
+			res.Flows = append(res.Flows, fr)
+			continue
+		}
 		if d.wantBytes > 0 && fr.Delivered >= d.wantBytes && fr.Finished > 0 {
 			fr.Completed = true
 			fr.Elapsed = fr.Finished - fr.Established
@@ -217,6 +311,9 @@ func (s *Sim) collect(drivers []*flowDriver) *Result {
 			Flows:      c.FlowCount(),
 			Accounting: c.Accounting(),
 		})
+	}
+	if s.timeline != nil {
+		res.Events = s.timeline.Records()
 	}
 	return res
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/cm"
+	"repro/internal/dynamics"
 	"repro/internal/netsim"
 )
 
@@ -35,7 +36,20 @@ const (
 	// KindStream keeps the flow backlogged for the whole scenario duration
 	// (an "infinite" transfer); it never completes.
 	KindStream = "stream"
+	// KindUDPRate runs the layered UDP streaming application in its
+	// rate-callback mode (§3.4): a libcm client clocks packets out at the
+	// current layer's rate and switches layers on cm_thresh callbacks. The
+	// workload requires (and defaults to) the CM congestion controller.
+	KindUDPRate = "udp-rate"
+	// KindUDPALF runs the same application in its ALF request/callback mode
+	// (§3.5): every packet waits for a cmapp_send grant and the layer is
+	// re-chosen from cm_query inside the callback.
+	KindUDPALF = "udp-alf"
 )
+
+// udpKind reports whether the workload kind is one of the layered UDP
+// applications (CM clients attached through libcm rather than TCP dialers).
+func udpKind(kind string) bool { return kind == KindUDPRate || kind == KindUDPALF }
 
 // LinkSpec declares one duplex link between two nodes. The embedded
 // netsim.LinkConfig carries bandwidth, delay, queueing and impairment knobs;
@@ -86,6 +100,11 @@ type Spec struct {
 	CMHosts []string `json:"cm_hosts,omitempty"`
 	// Workloads are the traffic sources.
 	Workloads []Workload `json:"workloads"`
+	// Events is the network-dynamics timeline: scheduled link up/down,
+	// bandwidth/delay/loss changes and bursty-loss (Gilbert-Elliott) mode
+	// switches, applied mid-run by the dynamics subsystem. Events with
+	// At <= 0 are applied at Build, before any traffic.
+	Events []dynamics.Event `json:"events,omitempty"`
 	// Duration is how much virtual time to simulate (default 30 s).
 	Duration time.Duration `json:"duration,omitempty"`
 	// Seed derives per-link seeds for links that leave Seed zero (default 1).
@@ -132,7 +151,13 @@ func (s *Spec) fillDefaults() {
 			w.Flows = 1
 		}
 		if w.CC == "" {
-			w.CC = CCNative
+			// The layered UDP applications are CM clients by construction;
+			// TCP workloads default to the native controller.
+			if udpKind(w.Kind) {
+				w.CC = CCCM
+			} else {
+				w.CC = CCNative
+			}
 		}
 		if w.Bytes <= 0 && w.Kind == KindBulk {
 			w.Bytes = 1 << 20
@@ -201,7 +226,7 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("scenario %q: workload %d terminates at a router", s.Name, i)
 		}
 		switch w.Kind {
-		case "", KindBulk, KindStream:
+		case "", KindBulk, KindStream, KindUDPRate, KindUDPALF:
 		default:
 			return fmt.Errorf("scenario %q: workload %d kind %q unknown", s.Name, i, w.Kind)
 		}
@@ -209,6 +234,14 @@ func (s *Spec) Validate() error {
 		case "", CCCM, CCNative:
 		default:
 			return fmt.Errorf("scenario %q: workload %d cc %q unknown", s.Name, i, w.CC)
+		}
+		if udpKind(w.Kind) && w.CC == CCNative {
+			return fmt.Errorf("scenario %q: workload %d kind %q is a CM client; cc %q is invalid", s.Name, i, w.Kind, w.CC)
+		}
+	}
+	for i, ev := range s.Events {
+		if err := ev.Validate(len(s.Links)); err != nil {
+			return fmt.Errorf("scenario %q: event %d: %w", s.Name, i, err)
 		}
 	}
 	return nil
