@@ -28,7 +28,9 @@ bench:
 perf:
 	$(GO) run ./cmd/cmbench -experiment perf -perfout BENCH_1.json
 
-# Per-PR perf trajectory point: the same core-loop benchmarks written to
-# BENCH_2.json, which CI uploads as an artifact on every run.
+# Per-PR perf trajectory point: the core-loop + sharded-scenario benchmarks
+# written to BENCH_4.json (CI uploads it as an artifact) and diffed against
+# the newest committed BENCH_*.json — any shared benchmark regressing >25%
+# in ns/op fails the target.
 bench-smoke:
-	$(GO) run ./cmd/cmbench -experiment perf -pr 2 -perfout BENCH_2.json
+	$(GO) run ./cmd/cmbench -experiment perf -pr 4 -perfout BENCH_4.json -compare latest

@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -25,6 +27,14 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries main's body so that deferred cleanup — stopping the CPU
+// profile, writing the heap profile — still happens on failure exits; a
+// bare os.Exit would truncate exactly the profile of the run being
+// investigated.
+func run() int {
 	var (
 		which = flag.String("experiment", "all",
 			"experiment to run: all, fig3, fig4, fig5, fig6, table1, fig7, fig8, fig9, fig10, setup, fairness, ablations, failure, perf")
@@ -32,10 +42,41 @@ func main() {
 		csv     = flag.Bool("csv", false, "print adaptation traces (fig8-10, failure) as CSV")
 		perfOut = flag.String("perfout", "BENCH_1.json", "output path for the perf snapshot written by -experiment perf")
 		perfPR  = flag.Int("pr", 1, "PR number stamped into the perf snapshot")
+		compare = flag.String("compare", "", "older BENCH_*.json to diff the perf snapshot against (\"latest\" picks the highest-numbered committed one); >25% ns/op regressions fail")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile (taken after the experiments) to this file")
 	)
 	flag.Parse()
 
-	runner := &benchRunner{quick: *quick, csv: *csv, perfOut: *perfOut, perfPR: *perfPR}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	runner := &benchRunner{quick: *quick, csv: *csv, perfOut: *perfOut, perfPR: *perfPR, compare: *compare}
 	selected := strings.Split(strings.ToLower(*which), ",")
 	ran := 0
 	for _, name := range selected {
@@ -43,17 +84,23 @@ func main() {
 		if name == "" {
 			continue
 		}
-		if !runner.run(name) {
+		ok, err := runner.run(name)
+		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			flag.Usage()
-			os.Exit(2)
+			return 2
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
 		}
 		ran++
 	}
 	if ran == 0 {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
 type benchRunner struct {
@@ -61,13 +108,17 @@ type benchRunner struct {
 	csv     bool
 	perfOut string
 	perfPR  int
+	compare string
 }
 
-func (b *benchRunner) run(name string) bool {
+// run executes one named experiment; ok is false for an unknown name.
+func (b *benchRunner) run(name string) (ok bool, err error) {
 	switch name {
 	case "all":
 		for _, n := range []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "setup", "fairness", "ablations"} {
-			b.run(n)
+			if _, err := b.run(n); err != nil {
+				return true, err
+			}
 		}
 	case "fig3":
 		cfg := experiments.Fig3Config{}
@@ -124,8 +175,7 @@ func (b *benchRunner) run(name string) bool {
 		}
 		res, err := experiments.RunFailure(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "failure experiment: %v\n", err)
-			os.Exit(1)
+			return true, fmt.Errorf("failure experiment: %w", err)
 		}
 		if b.csv {
 			b.section(res.CSV())
@@ -135,14 +185,13 @@ func (b *benchRunner) run(name string) bool {
 	case "perf":
 		// Deliberately not part of "all": the perf snapshot is a tooling
 		// artifact, not a paper experiment.
-		if err := runPerf(b.perfOut, b.perfPR); err != nil {
-			fmt.Fprintf(os.Stderr, "perf snapshot failed: %v\n", err)
-			os.Exit(1)
+		if err := runPerf(b.perfOut, b.perfPR, b.compare); err != nil {
+			return true, fmt.Errorf("perf snapshot failed: %w", err)
 		}
 	default:
-		return false
+		return false, nil
 	}
-	return true
+	return true, nil
 }
 
 func (b *benchRunner) adaptation(cfg experiments.AdaptationConfig) {

@@ -4,12 +4,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/cm"
 	"repro/internal/netsim"
+	"repro/internal/scenario"
 	"repro/internal/simtime"
 )
 
@@ -31,9 +36,13 @@ type perfSnapshot struct {
 	Results   []perfResult `json:"results"`
 }
 
-// runPerf measures the simulation core's hot loops with testing.Benchmark and
-// writes the snapshot to path, stamped with the given PR number.
-func runPerf(path string, pr int) error {
+// runPerf measures the simulation core's hot loops with testing.Benchmark
+// and writes the snapshot to path, stamped with the given PR number. A
+// non-empty compare names an earlier snapshot (or "latest" for the
+// highest-numbered committed BENCH_*.json next to path): shared benchmark
+// names regressing more than 25% in ns/op fail the run — the bench-smoke
+// gate CI runs on every PR.
+func runPerf(path string, pr int, compare string) error {
 	benches := []struct {
 		name string
 		fn   func(b *testing.B)
@@ -44,6 +53,8 @@ func runPerf(path string, pr int) error {
 		{"cm/request_grant_notify", benchRequestGrantNotify},
 		{"cm/charge_path_1k_flows", benchChargePath1k},
 		{"cm/round_robin_1k_flows", benchRoundRobin1k},
+		{"scenario/grid64_serial", benchGridSerial},
+		{"scenario/grid64_shards4", benchGridShards4},
 	}
 	snap := perfSnapshot{PR: pr, GoVersion: runtime.Version(), GOARCH: runtime.GOARCH}
 	for _, bench := range benches {
@@ -59,6 +70,10 @@ func runPerf(path string, pr int) error {
 		fmt.Printf("%-32s %12.1f ns/op %8d allocs/op %8d B/op\n",
 			res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
 	}
+	if serial, sharded := findResult(snap, "scenario/grid64_serial"), findResult(snap, "scenario/grid64_shards4"); serial != nil && sharded != nil {
+		fmt.Printf("%-32s %12.2fx (GOMAXPROCS=%d)\n", "grid64 speedup at 4 shards",
+			serial.NsPerOp/sharded.NsPerOp, runtime.GOMAXPROCS(0))
+	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err
@@ -68,7 +83,116 @@ func runPerf(path string, pr int) error {
 		return err
 	}
 	fmt.Printf("\nwrote %s\n", path)
+	if compare != "" {
+		return compareSnapshots(snap, path, compare)
+	}
 	return nil
+}
+
+func findResult(snap perfSnapshot, name string) *perfResult {
+	for i := range snap.Results {
+		if snap.Results[i].Name == name {
+			return &snap.Results[i]
+		}
+	}
+	return nil
+}
+
+// latestSnapshot returns the BENCH_<n>.json with the highest n present in
+// dir, excluding the file being written. In a clean checkout that is the
+// newest committed snapshot; a stray uncommitted BENCH_*.json left in the
+// tree would be picked instead, so keep the tree clean before bench-smoke.
+func latestSnapshot(dir, exclude string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, m := range matches {
+		if filepath.Clean(m) == filepath.Clean(exclude) {
+			continue
+		}
+		base := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(m), "BENCH_"), ".json")
+		n, err := strconv.Atoi(base)
+		if err != nil {
+			continue
+		}
+		if n > bestN {
+			best, bestN = m, n
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no committed BENCH_*.json to compare against in %q", dir)
+	}
+	return best, nil
+}
+
+// compareSnapshots diffs the fresh snapshot against an older one and fails
+// on a >25% ns/op regression in any shared benchmark name. New benchmarks
+// (present only in the fresh snapshot) establish their baseline silently.
+func compareSnapshots(fresh perfSnapshot, freshPath, oldPath string) error {
+	if oldPath == "latest" {
+		dir := filepath.Dir(freshPath)
+		p, err := latestSnapshot(dir, freshPath)
+		if err != nil {
+			return err
+		}
+		oldPath = p
+	}
+	data, err := os.ReadFile(oldPath)
+	if err != nil {
+		return err
+	}
+	var old perfSnapshot
+	if err := json.Unmarshal(data, &old); err != nil {
+		return fmt.Errorf("parse %s: %w", oldPath, err)
+	}
+	oldBy := make(map[string]perfResult, len(old.Results))
+	for _, r := range old.Results {
+		oldBy[r.Name] = r
+	}
+	var regressions []string
+	fmt.Printf("\nvs %s (PR %d):\n", oldPath, old.PR)
+	names := make([]string, 0, len(fresh.Results))
+	for _, r := range fresh.Results {
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := *findResult(fresh, name)
+		o, ok := oldBy[name]
+		if !ok || o.NsPerOp <= 0 {
+			fmt.Printf("%-32s %12.1f ns/op (new baseline)\n", name, r.NsPerOp)
+			continue
+		}
+		ratio := r.NsPerOp / o.NsPerOp
+		fmt.Printf("%-32s %12.1f ns/op %+7.1f%%\n", name, r.NsPerOp, (ratio-1)*100)
+		if ratio > 1.25 {
+			regressions = append(regressions, fmt.Sprintf("%s: %.1f -> %.1f ns/op (%+.1f%%)",
+				name, o.NsPerOp, r.NsPerOp, (ratio-1)*100))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("ns/op regressed >25%% vs %s:\n  %s", oldPath, strings.Join(regressions, "\n  "))
+	}
+	return nil
+}
+
+func benchGridSerial(b *testing.B)  { benchGrid(b, 1) }
+func benchGridShards4(b *testing.B) { benchGrid(b, 4) }
+
+// benchGrid runs the 64-node cluster grid end to end — the workload the
+// sharded execution mode exists for. One op is a whole simulation.
+func benchGrid(b *testing.B, shards int) {
+	spec := scenario.DumbbellGrid(scenario.GridParams{Duration: 2 * time.Second})
+	spec.Shards = shards
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.Run(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func benchScheduleFire(b *testing.B) {

@@ -9,6 +9,7 @@
 //	cmsim -scenario dumbbell,star -parallel 4    # run a batch across workers
 //	cmsim -scenario dumbbell -runs 8 -parallel 8 # replicate for determinism checks
 //	cmsim -scenario dumbbell -json               # machine-readable results
+//	cmsim -scenario grid -shards 4               # shard one simulation across workers
 //
 // Legacy point-to-point mode (no -scenario):
 //
@@ -36,6 +37,7 @@ func main() {
 		names    = flag.String("scenario", "", "comma-separated scenario names to run (see -list)")
 		parallel = flag.Int("parallel", 1, "worker goroutines for the batch (0 = GOMAXPROCS)")
 		runs     = flag.Int("runs", 1, "replicas of each scenario (for determinism and sweep checks)")
+		shards   = flag.Int("shards", 0, "shard one simulation across this many worker goroutines (0/1 = serial; results are byte-identical)")
 		jsonOut  = flag.Bool("json", false, "emit results as JSON")
 
 		bw       = flag.Float64("bw", 10e6, "legacy mode: bottleneck bandwidth in bits/second")
@@ -69,6 +71,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(2)
 			}
+			spec.Shards = *shards
 			for r := 0; r < *runs; r++ {
 				specs = append(specs, spec)
 			}

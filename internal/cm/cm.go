@@ -240,6 +240,11 @@ type CM struct {
 	byKey      map[netsim.FlowKey]*flowState
 	macroflows map[macroflowKey]*Macroflow
 
+	// owned, when non-nil, must report true whenever CM code runs; sharded
+	// scenario execution installs a shard-affinity check (a CM belongs to its
+	// host's shard). Serial runs leave it nil.
+	owned func() bool
+
 	acct Accounting
 }
 
@@ -267,6 +272,11 @@ func New(clock simtime.Clock, timers simtime.TimerFactory, opts ...Option) *CM {
 
 // Config returns a copy of the effective configuration.
 func (cm *CM) Config() Config { return cm.cfg }
+
+// SetOwnershipCheck installs a predicate asserting that the calling
+// goroutine may drive this CM (true = allowed). Sharded execution pins each
+// CM to its host's shard with it; nil (the default) disables the check.
+func (cm *CM) SetOwnershipCheck(fn func() bool) { cm.owned = fn }
 
 // Now returns the CM's current time.
 func (cm *CM) Now() time.Duration { return cm.clock.Now() }
@@ -387,6 +397,9 @@ func (cm *CM) macroflowFor(key macroflowKey) *Macroflow {
 // per-packet charge path, so it goes key -> flow -> macroflow with one map
 // lookup instead of chaining Lookup and Notify.
 func (cm *CM) NotifyTransmit(key netsim.FlowKey, nbytes int) {
+	if cm.owned != nil && !cm.owned() {
+		panic("cm: NotifyTransmit outside the CM's owning shard")
+	}
 	fl, ok := cm.byKey[key]
 	if !ok {
 		return

@@ -33,7 +33,12 @@ type flowState struct {
 	// list (nil when not registered), and the weighted scheduler's running
 	// credit. Living on the flowState keeps Add/Remove/Next allocation-free.
 	schedNext, schedPrev *flowState
-	wrrCredit            float64
+	// Intrusive links for the round-robin scheduler's eligible-only ring
+	// (nil when the flow has no pending requests), and the flow's immutable
+	// insertion position, which orders both rings.
+	eligNext, eligPrev *flowState
+	schedPos           uint64
+	wrrCredit          float64
 
 	// Statistics.
 	grantsReceived int64

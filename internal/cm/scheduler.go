@@ -36,17 +36,27 @@ type Scheduler interface {
 
 // roundRobinScheduler grants eligible flows in strict rotation.
 //
-// Flows are kept on an intrusive circular doubly-linked list (the schedNext /
-// schedPrev fields of flowState) in insertion order, with a cursor marking
-// the next rotation candidate. Add and Remove are O(1) with no allocation;
-// Next is O(1) when no eligible flows exist (the common idle case for a
-// closed window) thanks to the eligible count, and otherwise scans only until
-// the first flow with a pending request.
+// All registered flows sit on an intrusive circular doubly-linked list (the
+// schedNext / schedPrev fields of flowState) in insertion order, and the
+// flows with pending requests additionally sit on an *eligible-only* ring
+// (eligNext / eligPrev), kept sorted by each flow's immutable insertion
+// position (schedPos). The rotation cursor is the numeric position the next
+// scan starts from, so Next is O(1) unconditionally: it returns the eligible
+// flow closest to the cursor in circular insertion order — exactly the flow
+// the previous implementation's scan over *all* flows would have found — and
+// advances along the eligible ring. The scan cost moved to MarkEligible
+// (a sorted insert, O(eligible flows)), which in the workload that motivated
+// the change (a handful of eligible flows in a huge rotation,
+// BenchmarkScaleSparseEligibility1kFlows) is O(1) in practice.
 type roundRobinScheduler struct {
-	head     *flowState // insertion-order anchor; nil when empty
-	cursor   *flowState // next candidate in the rotation
-	count    int
-	eligible int // flows with pendingRequests > 0
+	head  *flowState // insertion-order anchor; nil when empty
+	count int
+
+	eligHead   *flowState // eligible ring anchor: smallest schedPos; nil when none
+	eligCursor *flowState // next grant: eligible flow closest to cursorPos
+	cursorPos  uint64     // position of the full-ring flow the rotation points at
+	nextPos    uint64     // insertion-position generator
+	eligible   int        // eligible-ring length (invariant checks, tests)
 }
 
 // NewRoundRobinScheduler returns the paper's default unweighted round-robin
@@ -55,11 +65,38 @@ func NewRoundRobinScheduler() Scheduler { return &roundRobinScheduler{} }
 
 func (s *roundRobinScheduler) Name() string { return "round-robin" }
 
+// circRank orders insertion positions circularly starting at start: start
+// itself first, larger positions ascending, then wrapped-around smaller
+// positions ascending. Positions are a uint64 counter, so the high bit is
+// never set and can mark the wrapped range.
+//
+// The cursor semantics replicate the previous identity-pointer cursor
+// exactly: cursorPos is always the position of the flow the old code's
+// cursor *pointed at* (captured eagerly as granted.schedNext at grant time,
+// or the removed flow's successor), never "just past the grantee". The
+// distinction matters when the tail flow is granted: the old cursor wrapped
+// to the head immediately, so flows appended later join the *end* of the
+// current lap — a position-only cursor would have put them first.
+func circRank(start, pos uint64) uint64 {
+	switch {
+	case pos == start:
+		return 0
+	case pos > start:
+		return pos - start
+	default:
+		return 1<<63 + pos
+	}
+}
+
 func (s *roundRobinScheduler) Add(f *flowState) {
+	f.schedPos = s.nextPos
+	s.nextPos++
 	if s.head == nil {
 		f.schedNext, f.schedPrev = f, f
 		s.head = f
-		s.cursor = f
+		// An empty rotation's cursor parks at the first flow: the first
+		// grant goes to the first-added flow.
+		s.cursorPos = f.schedPos
 	} else {
 		// Insert at the tail (just before head), matching slice append order.
 		tail := s.head.schedPrev
@@ -70,7 +107,7 @@ func (s *roundRobinScheduler) Add(f *flowState) {
 	}
 	s.count++
 	if f.pendingRequests > 0 {
-		s.eligible++
+		s.insertEligible(f)
 	}
 }
 
@@ -78,16 +115,16 @@ func (s *roundRobinScheduler) Remove(f *flowState) {
 	if f.schedNext == nil {
 		return // not registered
 	}
-	if f.pendingRequests > 0 {
-		s.eligible--
+	// The old identity cursor moved to f's successor when f was removed from
+	// under it; re-anchor the positional cursor the same way.
+	if s.cursorPos == f.schedPos && s.count > 1 {
+		s.cursorPos = f.schedNext.schedPos
 	}
+	s.unlinkEligible(f)
 	s.count--
 	if s.count == 0 {
-		s.head, s.cursor = nil, nil
+		s.head = nil
 	} else {
-		if s.cursor == f {
-			s.cursor = f.schedNext
-		}
 		if s.head == f {
 			s.head = f.schedNext
 		}
@@ -97,22 +134,78 @@ func (s *roundRobinScheduler) Remove(f *flowState) {
 	f.schedNext, f.schedPrev = nil, nil
 }
 
-func (s *roundRobinScheduler) MarkEligible(f *flowState)   { s.eligible++ }
-func (s *roundRobinScheduler) MarkIneligible(f *flowState) { s.eligible-- }
+// insertEligible links f into the eligible ring at its sorted position and
+// repoints the cursor if f is now the closest eligible flow to it.
+func (s *roundRobinScheduler) insertEligible(f *flowState) {
+	if f.eligNext != nil {
+		return // already eligible
+	}
+	s.eligible++
+	if s.eligHead == nil {
+		f.eligNext, f.eligPrev = f, f
+		s.eligHead = f
+		s.eligCursor = f
+		return
+	}
+	// Walk to the first flow with a larger position and insert before it;
+	// past the tail, insert before the head (largest position wraps there).
+	at := s.eligHead
+	for at.schedPos < f.schedPos {
+		at = at.eligNext
+		if at == s.eligHead {
+			break
+		}
+	}
+	prev := at.eligPrev
+	prev.eligNext = f
+	f.eligPrev = prev
+	f.eligNext = at
+	at.eligPrev = f
+	if f.schedPos < s.eligHead.schedPos {
+		s.eligHead = f
+	}
+	if circRank(s.cursorPos, f.schedPos) < circRank(s.cursorPos, s.eligCursor.schedPos) {
+		s.eligCursor = f
+	}
+}
+
+// unlinkEligible removes f from the eligible ring if it is on it.
+func (s *roundRobinScheduler) unlinkEligible(f *flowState) {
+	if f.eligNext == nil {
+		return
+	}
+	s.eligible--
+	if f.eligNext == f {
+		s.eligHead, s.eligCursor = nil, nil
+	} else {
+		if s.eligCursor == f {
+			s.eligCursor = f.eligNext
+		}
+		if s.eligHead == f {
+			s.eligHead = f.eligNext
+		}
+		f.eligPrev.eligNext = f.eligNext
+		f.eligNext.eligPrev = f.eligPrev
+	}
+	f.eligNext, f.eligPrev = nil, nil
+}
+
+func (s *roundRobinScheduler) MarkEligible(f *flowState)   { s.insertEligible(f) }
+func (s *roundRobinScheduler) MarkIneligible(f *flowState) { s.unlinkEligible(f) }
 
 func (s *roundRobinScheduler) Next() *flowState {
-	if s.eligible <= 0 || s.cursor == nil {
+	f := s.eligCursor
+	if f == nil {
 		return nil
 	}
-	f := s.cursor
-	for i := 0; i < s.count; i++ {
-		if f.pendingRequests > 0 {
-			s.cursor = f.schedNext
-			return f
-		}
-		f = f.schedNext
-	}
-	return nil
+	// The cursor parks at the grantee's full-ring successor (which may be
+	// ineligible), exactly like the old cursor = granted.schedNext. The next
+	// eligible flow in that order is the grantee's eligible-ring successor:
+	// no eligible flow sits between them by construction, and the grantee
+	// itself wraps to the end of the lap.
+	s.cursorPos = f.schedNext.schedPos
+	s.eligCursor = f.eligNext
+	return f
 }
 
 func (s *roundRobinScheduler) Weight(f *flowState) float64 { return 1 }

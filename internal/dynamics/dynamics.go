@@ -147,10 +147,13 @@ type Timeline struct {
 }
 
 // NewTimeline builds a timeline over the given events. resolve is required;
-// onChange may be nil when the owner has no routing to maintain.
+// onChange may be nil when the owner has no routing to maintain. A nil sched
+// selects the externally-driven mode: Install applies only time-zero events
+// and the owner fires the rest by calling Advance at the right virtual times
+// (sharded execution does this at its synchronization barriers).
 func NewTimeline(sched *simtime.Scheduler, events []Event, resolve Resolver, onChange TopologyHook) *Timeline {
-	if sched == nil || resolve == nil {
-		panic("dynamics: NewTimeline requires a scheduler and a resolver")
+	if resolve == nil {
+		panic("dynamics: NewTimeline requires a resolver")
 	}
 	t := &Timeline{sched: sched, resolve: resolve, onChange: onChange}
 	t.recs = make([]Record, len(events))
@@ -162,15 +165,33 @@ func NewTimeline(sched *simtime.Scheduler, events []Event, resolve Resolver, onC
 
 // Install schedules every event. Events with At <= 0 are applied immediately
 // (before the scheduler runs), so time-zero events configure the network
-// before the first packet. Install must be called exactly once.
+// before the first packet. Install must be called exactly once. On an
+// externally-driven timeline (nil scheduler) the positive-time events are
+// left for Advance.
 func (t *Timeline) Install() {
 	for i := range t.recs {
 		if t.recs[i].At <= 0 {
 			t.fire(i)
 			continue
 		}
+		if t.sched == nil {
+			continue
+		}
 		idx := i
 		t.sched.At(t.recs[i].At, func() { t.fire(idx) })
+	}
+}
+
+// Advance fires every not-yet-fired event with At <= now, in declaration
+// order — the same order the scheduler mode produces, since Install inserts
+// the events in declaration order before any traffic is scheduled. It is the
+// drive for externally-clocked owners; calling it on a scheduler-backed
+// timeline would double-fire events, so don't.
+func (t *Timeline) Advance(now time.Duration) {
+	for i := range t.recs {
+		if !t.recs[i].Fired && t.recs[i].At <= now {
+			t.fire(i)
+		}
 	}
 }
 

@@ -147,6 +147,14 @@ type Link struct {
 	// dropTap observes dropped packets (random or queue drops).
 	dropTap func(pkt *Packet, reason string)
 
+	// remote, when non-nil, replaces local delivery scheduling: instead of
+	// putting the delivery event on this link's (sending-side) scheduler, the
+	// serialised packet is handed to the hook with its arrival time and the
+	// sender-side time it left the wire. Sharded execution installs it on
+	// links whose destination lives on another shard; the receiving shard
+	// later calls DeliverRemote. See docs/PERF.md, "Sharded execution".
+	remote RemoteDeliver
+
 	// txDone and handUpArg are built once so the per-packet transmit and
 	// delivery events schedule with AfterArg instead of a fresh closure,
 	// keeping the steady-state path allocation-free.
@@ -201,6 +209,20 @@ func (l *Link) SetTap(fn func(pkt *Packet)) { l.tap = fn }
 // reason ("loss" for Bernoulli loss, "burst" for Gilbert-Elliott loss, "down"
 // for an out-of-service link, "queue" for buffer overflow).
 func (l *Link) SetDropTap(fn func(pkt *Packet, reason string)) { l.dropTap = fn }
+
+// RemoteDeliver receives a serialised packet whose delivery belongs to
+// another scheduler: the packet arrives at the destination at time arrive;
+// sent is the sender-side virtual time serialisation completed (the insertion
+// stamp for deterministic ordering). dup is the duplication-impairment clone
+// to hand up immediately after pkt, or nil.
+type RemoteDeliver func(pkt, dup *Packet, arrive, sent time.Duration)
+
+// SetRemoteDeliver diverts this link's deliveries to a cross-scheduler hook.
+// Serialisation, queueing and the loss/reorder/duplicate draws still run on
+// the sending side (they consume the link's private RNG in offered-packet
+// order); only the final hand-up moves to the receiving side, which performs
+// it by calling DeliverRemote at the packet's arrival time.
+func (l *Link) SetRemoteDeliver(fn RemoteDeliver) { l.remote = fn }
 
 // Config returns a snapshot of the link configuration. For a link whose
 // parameters were changed mid-run, it reflects the current values; the
@@ -370,23 +392,54 @@ func (l *Link) deliver(pkt *Packet) {
 		delay += extra
 		l.stats.Reordered++
 	}
+	var dup *Packet
 	if l.cfg.DuplicateRate > 0 && l.rng.Float64() < l.cfg.DuplicateRate {
-		// Duplication is rare; the closure here is off the steady-state path.
 		// The clone must be taken before the original is handed up: the
 		// receiver may release the original back to the pool.
-		dup := pkt.Clone()
+		dup = pkt.Clone()
+	}
+	if l.remote != nil {
+		// Cross-scheduler delivery: the destination's shard performs the
+		// hand-up (DeliverRemote) at the arrival time.
+		now := l.sched.Now()
+		l.remote(pkt, dup, now+delay, now)
+		return
+	}
+	if dup != nil {
+		// Duplication is rare; the closure here is off the steady-state path.
+		// (d rebinds dup so the closure captures a never-reassigned local by
+		// value — capturing dup itself would heap-allocate its cell on every
+		// deliver call and break the zero-alloc gate.)
+		d := dup
 		l.sched.After(delay, func() {
 			l.handUp(pkt)
 			l.stats.Duplicated++
-			l.handUp(dup)
+			l.handUp(d)
 		})
 		return
 	}
 	l.sched.AfterArg(delay, l.handUpArg, pkt)
 }
 
-func (l *Link) handUp(pkt *Packet) {
-	l.stats.DeliveredAt = l.sched.Now()
+// DeliverRemote is the receiving-side half of a cross-scheduler delivery: the
+// destination shard calls it when the injected delivery event fires, passing
+// its own clock as now. Delivery-side statistics (DeliveredAt,
+// DeliveredOctets, Duplicated) are therefore only ever written by the
+// destination shard, while the sending shard writes the serialisation-side
+// counters — the field-level ownership split that keeps a shared Link struct
+// race-free without locks.
+func (l *Link) DeliverRemote(pkt, dup *Packet, now time.Duration) {
+	l.handUpAt(pkt, now)
+	if dup != nil {
+		l.stats.Duplicated++
+		l.handUpAt(dup, now)
+	}
+}
+
+func (l *Link) handUp(pkt *Packet) { l.handUpAt(pkt, l.sched.Now()) }
+
+func (l *Link) handUpAt(pkt *Packet, now time.Duration) {
+	l.stats.DeliveredAt = now
 	l.stats.DeliveredOctets += int64(pkt.Size)
 	if l.tap != nil {
 		l.tap(pkt)
@@ -408,6 +461,14 @@ type Duplex struct {
 // NewDuplex builds a bidirectional channel using the same configuration for
 // both directions (destination receivers are set separately with Connect).
 func NewDuplex(sched *simtime.Scheduler, cfg LinkConfig) *Duplex {
+	return NewDuplexOn(sched, sched, cfg)
+}
+
+// NewDuplexOn builds a bidirectional channel whose two directions run on
+// (possibly) different schedulers: each direction is owned by the shard of
+// the host that transmits on it, so fwd is the A-side scheduler and rev the
+// B-side one. NewDuplex is the single-scheduler special case.
+func NewDuplexOn(fwd, rev *simtime.Scheduler, cfg LinkConfig) *Duplex {
 	fcfg := cfg
 	rcfg := cfg
 	fcfg.Name = cfg.Name + "-fwd"
@@ -416,8 +477,8 @@ func NewDuplex(sched *simtime.Scheduler, cfg LinkConfig) *Duplex {
 		rcfg.Seed = cfg.Seed + 1
 	}
 	return &Duplex{
-		Forward: NewLink(sched, fcfg, nil),
-		Reverse: NewLink(sched, rcfg, nil),
+		Forward: NewLink(fwd, fcfg, nil),
+		Reverse: NewLink(rev, rcfg, nil),
 	}
 }
 

@@ -1,0 +1,64 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+)
+
+// The transit-relay hot path (Receive -> forward -> next link) carries every
+// packet of every multi-hop scenario through each router, so it must not
+// allocate in steady state: the packet comes from the pool, the TTL
+// decrement and route lookup are in-place, and the next link's transmit
+// events come from the scheduler freelist. PR 2 added the router path
+// without a gate; this is it.
+func TestForwardingHotPathZeroAlloc(t *testing.T) {
+	sched := simtime.NewScheduler()
+	nw := NewNetwork(sched)
+	cfg := netsim.LinkConfig{Bandwidth: 100 * netsim.Mbps, Delay: time.Millisecond, QueuePackets: 64}
+	nw.ConnectDuplex("src", "r", cfg)
+	d2 := nw.ConnectDuplex("r", "dst", cfg)
+	router := nw.Router("r")
+	router.AddRoute("dst", d2.Forward)
+	// The destination host terminates the packet: no listener, so it is
+	// counted as a no-listener drop and released — still the full relay path.
+	relay := func() {
+		p := netsim.NewPacket()
+		p.Proto = netsim.ProtoUDP
+		p.Src = netsim.Addr{Host: "src", Port: 1}
+		p.Dst = netsim.Addr{Host: "dst", Port: 2}
+		p.Size = 1500
+		p.TTL = netsim.DefaultTTL
+		router.Receive(p)
+		sched.Run()
+	}
+	for i := 0; i < 64; i++ {
+		relay()
+	}
+	allocs := testing.AllocsPerRun(500, relay)
+	if allocs != 0 {
+		t.Fatalf("transit relay allocated %.1f objects per op, want 0", allocs)
+	}
+	if st := router.Stats(); st.ForwardedPackets == 0 {
+		t.Fatal("relay path did not forward")
+	}
+}
+
+// A host pinned to a shard must refuse to run outside it.
+func TestOwnershipCheckEnforced(t *testing.T) {
+	sched := simtime.NewScheduler()
+	h := NewHost("a", sched)
+	allowed := true
+	h.SetOwnershipCheck(func() bool { return allowed })
+	p := &netsim.Packet{Dst: netsim.Addr{Host: "a", Port: 1}}
+	h.Receive(p) // allowed: no panic
+	allowed = false
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Receive outside the owning shard must panic")
+		}
+	}()
+	h.Receive(&netsim.Packet{Dst: netsim.Addr{Host: "a", Port: 1}})
+}

@@ -76,6 +76,12 @@ type Host struct {
 	stats      HostStats
 	nextPort   int
 	forwarding bool
+	// owned, when non-nil, must report true whenever host code runs. Sharded
+	// execution installs a check tied to the host's shard's execution phase
+	// so that a packet delivered outside the shard protocol (while the
+	// owning shard is quiescent and no coordinator phase is active) panics
+	// instead of corrupting state; serial runs leave it nil (one branch).
+	owned func() bool
 }
 
 // NewHost creates a host with the given name attached to the scheduler.
@@ -107,6 +113,18 @@ func (h *Host) Stats() HostStats { return h.stats }
 
 // SetTransmitNotifier installs the CM hook called from the IP output routine.
 func (h *Host) SetTransmitNotifier(n TransmitNotifier) { h.notifier = n }
+
+// SetOwnershipCheck installs a predicate asserting that the calling goroutine
+// may run this host's code (true = allowed). Sharded execution uses it to pin
+// each host to its shard; nil (the default) disables the check.
+func (h *Host) SetOwnershipCheck(fn func() bool) { h.owned = fn }
+
+// assertOwned panics if the host is being driven outside its owning shard.
+func (h *Host) assertOwned() {
+	if h.owned != nil && !h.owned() {
+		panic(fmt.Sprintf("node: host %q driven outside its owning shard", h.name))
+	}
+}
 
 // EnableForwarding turns the host into a router: packets received for other
 // destinations are relayed through the routing table instead of dropped.
@@ -245,6 +263,7 @@ func (h *Host) Output(pkt *netsim.Packet) bool {
 // keep the payload, never the packet) the packet is released back to the
 // pool.
 func (h *Host) Receive(pkt *netsim.Packet) {
+	h.assertOwned()
 	if pkt.Dst.Host != h.name {
 		h.forward(pkt)
 		return
@@ -301,8 +320,9 @@ var _ netsim.Receiver = (*Host)(nil)
 // Network is a convenience container that creates hosts and wires them
 // together with duplex links, maintaining routing tables.
 type Network struct {
-	sched *simtime.Scheduler
-	hosts map[string]*Host
+	sched    *simtime.Scheduler
+	schedFor func(host string) *simtime.Scheduler
+	hosts    map[string]*Host
 }
 
 // NewNetwork returns an empty topology bound to the scheduler.
@@ -313,15 +333,34 @@ func NewNetwork(sched *simtime.Scheduler) *Network {
 	return &Network{sched: sched, hosts: make(map[string]*Host)}
 }
 
-// Scheduler returns the shared scheduler.
+// NewShardedNetwork returns an empty topology whose hosts are bound to
+// per-host schedulers: schedFor maps a host name to the scheduler of the
+// shard that owns it. Links created by ConnectDuplex run each direction on
+// the transmitting host's scheduler.
+func NewShardedNetwork(schedFor func(host string) *simtime.Scheduler) *Network {
+	if schedFor == nil {
+		panic("node: NewShardedNetwork requires a scheduler map")
+	}
+	return &Network{schedFor: schedFor, hosts: make(map[string]*Host)}
+}
+
+// Scheduler returns the shared scheduler, or nil for a sharded network.
 func (n *Network) Scheduler() *simtime.Scheduler { return n.sched }
+
+// schedOf resolves the scheduler owning the named host.
+func (n *Network) schedOf(name string) *simtime.Scheduler {
+	if n.schedFor != nil {
+		return n.schedFor(name)
+	}
+	return n.sched
+}
 
 // Host returns the named host, creating it on first use.
 func (n *Network) Host(name string) *Host {
 	if h, ok := n.hosts[name]; ok {
 		return h
 	}
-	h := NewHost(name, n.sched)
+	h := NewHost(name, n.schedOf(name))
 	n.hosts[name] = h
 	return h
 }
@@ -345,7 +384,7 @@ func (n *Network) ConnectDuplex(a, b string, cfg netsim.LinkConfig) *netsim.Dupl
 	if cfg.Name == "" {
 		cfg.Name = a + "<->" + b
 	}
-	d := netsim.NewDuplex(n.sched, cfg)
+	d := netsim.NewDuplexOn(ha.Clock(), hb.Clock(), cfg)
 	d.Connect(ha, hb)
 	ha.AddRoute(b, d.Forward)
 	hb.AddRoute(a, d.Reverse)

@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/cm"
 	"repro/internal/dynamics"
@@ -34,6 +35,11 @@ type Sim struct {
 	neighbors map[string][]string
 	timeline  *dynamics.Timeline
 
+	// shard is the sharded-execution coordinator, nil for a serial build
+	// (Spec.Shards <= 1, a degenerate partition, or zero lookahead). When
+	// set, sched is nil: every component is bound to its shard's scheduler.
+	shard *shardRun
+
 	// drivers track the declarative workloads once Start has run.
 	drivers []*flowDriver
 	started bool
@@ -47,10 +53,10 @@ func Build(spec Spec) (*Sim, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	sched := simtime.NewScheduler()
-	nw := node.NewNetwork(sched)
-	sim := &Sim{Spec: spec, sched: sched, net: nw, cms: make(map[string]*cm.CM)}
+	sim := &Sim{Spec: spec, cms: make(map[string]*cm.CM)}
 
+	// Node order is the first mention in Links; it is needed up front because
+	// a sharded build must know every host's shard before creating it.
 	seen := make(map[string]bool)
 	addNode := func(name string) {
 		if !seen[name] {
@@ -58,6 +64,29 @@ func Build(spec Spec) (*Sim, error) {
 			sim.nodeNames = append(sim.nodeNames, name)
 		}
 	}
+	for _, ls := range spec.Links {
+		addNode(ls.A)
+		addNode(ls.B)
+	}
+
+	// Sharded execution needs at least two shards after partitioning and a
+	// positive lookahead (a zero-delay cross-shard link admits no safe
+	// concurrent window); anything else degrades to the serial path.
+	var nw *node.Network
+	if spec.Shards > 1 {
+		plan := planShards(&spec, sim.nodeNames)
+		if plan.nshards > 1 && plan.lookahead > 0 {
+			sim.shard = newShardRun(plan)
+			nw = node.NewShardedNetwork(func(host string) *simtime.Scheduler {
+				return sim.shard.states[plan.shardOf[host]].sched
+			})
+		}
+	}
+	if nw == nil {
+		sim.sched = simtime.NewScheduler()
+		nw = node.NewNetwork(sim.sched)
+	}
+	sim.net = nw
 	for _, r := range spec.Routers {
 		nw.Router(r)
 	}
@@ -116,6 +145,18 @@ func Build(spec Spec) (*Sim, error) {
 		if err := direction(ls.B, ls.A, d.Reverse); err != nil {
 			return nil, err
 		}
+		if sim.shard != nil {
+			sa, sb := sim.shard.plan.shardOf[ls.A], sim.shard.plan.shardOf[ls.B]
+			if sa != sb {
+				sim.shard.connectRemote(d.Forward, sa, sb)
+				sim.shard.connectRemote(d.Reverse, sb, sa)
+			}
+		}
+	}
+	if sim.shard != nil {
+		for _, name := range sim.nodeNames {
+			nw.Host(name).SetOwnershipCheck(sim.shard.ownerCheck(sim.shard.plan.shardOf[name]))
+		}
 	}
 
 	sim.recomputeRoutes()
@@ -131,20 +172,75 @@ func Build(spec Spec) (*Sim, error) {
 		if _, ok := sim.cms[h]; ok {
 			continue
 		}
-		c := cm.New(sched, sched, spec.CMOpts...)
+		hostSched := sim.clockFor(h)
+		c := cm.New(hostSched, hostSched, spec.CMOpts...)
 		sim.cms[h] = c
 		sim.cmHosts = append(sim.cmHosts, h)
 		nw.Host(h).SetTransmitNotifier(c)
+		if sim.shard != nil {
+			c.SetOwnershipCheck(sim.shard.ownerCheck(sim.shard.plan.shardOf[h]))
+		}
 	}
 
 	// The dynamics timeline is installed last so its time-zero events (static
-	// asymmetries and initial loss modes) see the fully wired topology.
+	// asymmetries and initial loss modes) see the fully wired topology. A
+	// sharded build uses the externally-driven mode: positive-time events
+	// fire at synchronization barriers instead of on a scheduler.
 	if len(spec.Events) > 0 {
-		sim.timeline = dynamics.NewTimeline(sched, spec.Events, sim.resolveEventLinks,
+		sim.timeline = dynamics.NewTimeline(sim.sched, spec.Events, sim.resolveEventLinks,
 			func(dynamics.Event) int { return sim.recomputeRoutes() })
 		sim.timeline.Install()
 	}
 	return sim, nil
+}
+
+// clockFor returns the scheduler owning the named host: the single scheduler
+// of a serial build, or the host's shard scheduler of a sharded one.
+func (s *Sim) clockFor(host string) *simtime.Scheduler {
+	if s.shard != nil {
+		return s.shard.states[s.shard.plan.shardOf[host]].sched
+	}
+	return s.sched
+}
+
+// now returns the current virtual time. All shard clocks agree outside
+// windows (the coordinator advances them in lockstep), so the first shard
+// speaks for a sharded run.
+func (s *Sim) now() time.Duration {
+	if s.shard != nil {
+		return s.shard.states[0].sched.Now()
+	}
+	return s.sched.Now()
+}
+
+// Sharded reports whether the build runs on shard workers; ShardCount and
+// Lookahead describe the partition (1 and 0 for a serial build), and ShardOf
+// returns the shard owning a host (0 for a serial build).
+func (s *Sim) Sharded() bool { return s.shard != nil }
+
+// ShardCount returns the number of shards executing the simulation.
+func (s *Sim) ShardCount() int {
+	if s.shard == nil {
+		return 1
+	}
+	return s.shard.plan.nshards
+}
+
+// Lookahead returns the conservative synchronization window of a sharded
+// build, zero for a serial one.
+func (s *Sim) Lookahead() time.Duration {
+	if s.shard == nil {
+		return 0
+	}
+	return s.shard.plan.lookahead
+}
+
+// ShardOf returns the shard index owning the named host.
+func (s *Sim) ShardOf(host string) int {
+	if s.shard == nil {
+		return 0
+	}
+	return s.shard.plan.shardOf[host]
 }
 
 // resolveEventLinks maps an event's (link index, direction) onto the built
@@ -222,7 +318,9 @@ func (s *Sim) recomputeRoutes() int {
 	return changed
 }
 
-// Scheduler returns the simulation's private scheduler.
+// Scheduler returns the simulation's private scheduler, or nil for a sharded
+// build (each shard owns one; see clockFor). Experiments that drive the
+// clock themselves run serial builds.
 func (s *Sim) Scheduler() *simtime.Scheduler { return s.sched }
 
 // Network returns the wired topology.

@@ -428,6 +428,122 @@ func FlakyDumbbell(p FlakyDumbbellParams) Spec {
 	return spec
 }
 
+// GridParams parameterises the cluster-grid topology: an R×C grid of routers
+// joined by long-delay backbone links, each router the hub of a small
+// cluster of leaf hosts on short access links.
+type GridParams struct {
+	// Rows and Cols shape the router grid (default 4×4).
+	Rows, Cols int
+	// HostsPerCluster is the leaf count per router (default 3, making the
+	// default topology 16 routers + 48 hosts = 64 nodes).
+	HostsPerCluster int
+	// AccessBandwidth / AccessDelay describe the host-router links (defaults
+	// 20 Mbps, 1 ms) — slow enough that each cluster's local stream congests
+	// its own access pipe, a miniature dumbbell per cluster.
+	AccessBandwidth netsim.Bandwidth
+	AccessDelay     time.Duration
+	// BackboneBandwidth / BackboneDelay describe the router-router links
+	// (defaults 10 Mbps, 10 ms). The backbone delay dominates every
+	// cross-cluster path, which is what gives a sharded run its lookahead:
+	// partitioning cuts only backbone links.
+	BackboneBandwidth netsim.Bandwidth
+	BackboneDelay     time.Duration
+	// CC selects the congestion controller of all workloads (default CM).
+	CC       string
+	Duration time.Duration
+	Seed     int64
+}
+
+// DumbbellGrid builds the cluster grid: within every cluster, host 0 streams
+// to host 1 for the whole run, and the last host sends a staggered bulk
+// transfer to host 0 of the next cluster (wrapping), so backbone links carry
+// real transit traffic. With its many mostly-independent clusters joined by
+// high-delay links it is the reference workload for sharded execution
+// (`BenchmarkShardedDumbbellGrid`): delay-weighted partitioning keeps whole
+// clusters on one shard and the 10 ms backbone becomes the lookahead.
+func DumbbellGrid(p GridParams) Spec {
+	if p.Rows <= 0 {
+		p.Rows = 4
+	}
+	if p.Cols <= 0 {
+		p.Cols = 4
+	}
+	if p.HostsPerCluster < 2 {
+		p.HostsPerCluster = 3
+	}
+	if p.AccessBandwidth == 0 {
+		p.AccessBandwidth = 20 * netsim.Mbps
+	}
+	if p.AccessDelay <= 0 {
+		p.AccessDelay = time.Millisecond
+	}
+	if p.BackboneBandwidth == 0 {
+		p.BackboneBandwidth = 10 * netsim.Mbps
+	}
+	if p.BackboneDelay <= 0 {
+		p.BackboneDelay = 10 * time.Millisecond
+	}
+	if p.CC == "" {
+		p.CC = CCCM
+	}
+	if p.Duration <= 0 {
+		p.Duration = 10 * time.Second
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	clusters := p.Rows * p.Cols
+	access := netsim.LinkConfig{
+		Bandwidth:    p.AccessBandwidth,
+		Delay:        p.AccessDelay,
+		QueuePackets: 100,
+	}
+	backbone := netsim.LinkConfig{
+		Bandwidth:    p.BackboneBandwidth,
+		Delay:        p.BackboneDelay,
+		QueuePackets: 120,
+	}
+	spec := Spec{
+		Name: "grid",
+		Description: fmt.Sprintf("%d×%d cluster grid (%d nodes): per-cluster streams plus cross-cluster transfers",
+			p.Rows, p.Cols, clusters*(1+p.HostsPerCluster)),
+		Duration: p.Duration,
+		Seed:     p.Seed,
+	}
+	rname := func(c int) string { return fmt.Sprintf("r%d", c) }
+	hname := func(c, i int) string { return fmt.Sprintf("c%dh%d", c, i) }
+	for c := 0; c < clusters; c++ {
+		spec.Routers = append(spec.Routers, rname(c))
+		for i := 0; i < p.HostsPerCluster; i++ {
+			spec.Links = append(spec.Links, LinkSpec{A: hname(c, i), B: rname(c), LinkConfig: access})
+		}
+	}
+	for row := 0; row < p.Rows; row++ {
+		for col := 0; col < p.Cols; col++ {
+			c := row*p.Cols + col
+			if col+1 < p.Cols {
+				spec.Links = append(spec.Links, LinkSpec{A: rname(c), B: rname(c + 1), LinkConfig: backbone})
+			}
+			if row+1 < p.Rows {
+				spec.Links = append(spec.Links, LinkSpec{A: rname(c), B: rname(c + p.Cols), LinkConfig: backbone})
+			}
+		}
+	}
+	for c := 0; c < clusters; c++ {
+		spec.Workloads = append(spec.Workloads, Workload{
+			Kind: KindStream, From: hname(c, 0), To: hname(c, 1), CC: p.CC,
+		})
+		// Staggered cross-cluster transfers keep the backbone busy without
+		// every cluster dialing in lockstep at t=0.
+		spec.Workloads = append(spec.Workloads, Workload{
+			Kind: KindBulk, From: hname(c, p.HostsPerCluster-1), To: hname((c+1)%clusters, 0),
+			Bytes: 1 << 20, CC: p.CC,
+			Start: time.Duration(c+1) * 50 * time.Millisecond,
+		})
+	}
+	return spec
+}
+
 // PointToPointParams parameterises the two-host topology every experiment in
 // the paper's evaluation uses.
 type PointToPointParams struct {

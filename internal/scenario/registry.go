@@ -78,4 +78,7 @@ func init() {
 	Register("flaky-dumbbell", func() Spec {
 		return FlakyDumbbell(FlakyDumbbellParams{})
 	})
+	Register("grid", func() Spec {
+		return DumbbellGrid(GridParams{})
+	})
 }

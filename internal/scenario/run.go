@@ -97,7 +97,9 @@ type flowDriver struct {
 }
 
 // Run builds the spec and executes its workloads for the configured
-// duration, returning the collected result.
+// duration, returning the collected result. A spec with Shards > 1 executes
+// on shard workers under conservative synchronization; the Result is
+// byte-identical either way.
 func Run(spec Spec) (*Result, error) {
 	sim, err := Build(spec)
 	if err != nil {
@@ -106,7 +108,11 @@ func Run(spec Spec) (*Result, error) {
 	if err := sim.Start(); err != nil {
 		return nil, err
 	}
-	sim.sched.RunUntil(sim.Spec.Duration)
+	if sim.shard != nil {
+		sim.shard.run(sim.Spec.Duration, sim.timeline, sim.Spec.Events)
+	} else {
+		sim.sched.RunUntil(sim.Spec.Duration)
+	}
 	return sim.Finish(), nil
 }
 
@@ -161,11 +167,16 @@ func (s *Sim) startWorkloads() ([]*flowDriver, error) {
 				continue
 			}
 
+			// Each side of the flow timestamps with its own host's clock: the
+			// two differ only in a sharded build, where the receive-side
+			// callbacks run on the To host's shard and the dial-side ones on
+			// the From host's.
+			fromClock, toClock := s.clockFor(w.From), s.clockFor(w.To)
 			_, err := tcp.Listen(s.net.Host(w.To), port,
 				tcp.Config{DelayedAck: true, RecvWindow: w.RecvWindow},
 				func(ep *tcp.Endpoint) {
 					ep.OnReceive(func(n int) { d.res.Delivered += int64(n) })
-					ep.OnClosed(func() { d.res.Finished = s.sched.Now() })
+					ep.OnClosed(func() { d.res.Finished = toClock.Now() })
 				})
 			if err != nil {
 				return nil, fmt.Errorf("scenario %q: workload %d flow %d: %w", s.Spec.Name, wi, fi, err)
@@ -190,7 +201,7 @@ func (s *Sim) startWorkloads() ([]*flowDriver, error) {
 				}
 				d.ep = ep
 				ep.OnEstablished(func() {
-					d.res.Established = s.sched.Now()
+					d.res.Established = fromClock.Now()
 					switch kind {
 					case KindStream:
 						// Effectively unbounded: backlogged for the whole
@@ -206,7 +217,7 @@ func (s *Sim) startWorkloads() ([]*flowDriver, error) {
 			if w.Start > 0 {
 				// The dial happens mid-run; a failure is recorded on the
 				// flow's result instead of aborting the whole scenario.
-				s.sched.At(w.Start, func() { _ = dial() })
+				fromClock.At(w.Start, func() { _ = dial() })
 			} else if err := dial(); err != nil {
 				return nil, fmt.Errorf("scenario %q: workload %d flow %d: %w", s.Spec.Name, wi, fi, err)
 			}
@@ -229,7 +240,8 @@ func (s *Sim) startUDPFlow(w *Workload, d *flowDriver, port int) error {
 	if w.Kind == KindUDPALF {
 		mode = app.ModeALF
 	}
-	lib := libcm.New(s.cms[w.From], s.sched, libcm.ModeAuto)
+	fromClock := s.clockFor(w.From)
+	lib := libcm.New(s.cms[w.From], fromClock, libcm.ModeAuto)
 	srv, err := app.NewLayeredServer(s.net.Host(w.From), lib, client.Addr(), app.LayeredConfig{Mode: mode})
 	if err != nil {
 		return err
@@ -240,11 +252,11 @@ func (s *Sim) startUDPFlow(w *Workload, d *flowDriver, port int) error {
 	}
 	start := func() {
 		d.udpStarted = true
-		d.res.Established = s.sched.Now()
+		d.res.Established = fromClock.Now()
 		srv.Start()
 	}
 	if w.Start > 0 {
-		s.sched.At(w.Start, start)
+		fromClock.At(w.Start, start)
 	} else {
 		start()
 	}
@@ -253,7 +265,7 @@ func (s *Sim) startUDPFlow(w *Workload, d *flowDriver, port int) error {
 
 // collect freezes the simulation state into a Result.
 func (s *Sim) collect(drivers []*flowDriver) *Result {
-	res := &Result{Scenario: s.Spec.Name, EndTime: s.sched.Now()}
+	res := &Result{Scenario: s.Spec.Name, EndTime: s.now()}
 	for _, d := range drivers {
 		fr := *d.res
 		if d.udpFinish != nil {
@@ -262,7 +274,7 @@ func (s *Sim) collect(drivers []*flowDriver) *Result {
 			// A stream whose delayed start never fired reports zero elapsed.
 			d.udpFinish(&fr)
 			if d.udpStarted {
-				fr.Elapsed = s.sched.Now() - fr.Established
+				fr.Elapsed = s.now() - fr.Established
 			}
 			if fr.Elapsed > 0 {
 				fr.ThroughputKBps = float64(fr.Delivered) / fr.Elapsed.Seconds() / 1024
@@ -276,7 +288,7 @@ func (s *Sim) collect(drivers []*flowDriver) *Result {
 		} else {
 			fr.Finished = 0
 			if fr.Established > 0 {
-				fr.Elapsed = s.sched.Now() - fr.Established
+				fr.Elapsed = s.now() - fr.Established
 			}
 		}
 		if d.ep != nil {

@@ -1,0 +1,256 @@
+// Sharded single-simulation execution: one huge scenario is partitioned into
+// K shards (planShards), each shard owns a private simtime.Scheduler driving
+// its hosts, links and CMs on its own worker goroutine, and the shards
+// advance in conservative lookahead windows.
+//
+// The synchronization protocol is the classic conservative (window/barrier)
+// scheme of parallel discrete-event simulation, specialised to this
+// simulator's one guarantee: every cross-shard interaction is a packet on a
+// link whose propagation delay is at least the lookahead L. All shards
+// execute events in [W, W') concurrently, where W' - W <= L; a packet handed
+// off during the window was serialised at some t >= W, so it arrives at
+// t + delay >= W + L >= W' — never inside the window that produced it. At the
+// barrier the coordinator advances every clock to W', drains the handoff
+// queues into the destination schedulers (InjectAt, which panics if the
+// invariant ever fails), fires any network-dynamics events scheduled exactly
+// at W', and opens the next window.
+//
+// Determinism is the design constraint. Each injected delivery carries the
+// sender-side serialisation time as its insertion stamp, and the scheduler
+// orders same-timestamp events by (stamp, seq) — which is exactly the
+// insertion order a single shared scheduler would have produced, so a
+// K-shard run executes every host's events in the serial order and the
+// Result is byte-identical to the serial run (enforced by TestShardedRuns*).
+// Handoff queues are single-producer/single-consumer slices: only the source
+// shard's worker appends (during a window), only the coordinator drains (at a
+// barrier), and the window channels provide the happens-before edges.
+package scenario
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dynamics"
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+)
+
+// shardMsg is one cross-shard packet delivery in flight between a source
+// shard's window and the destination shard's next window.
+type shardMsg struct {
+	link     *netsim.Link
+	pkt, dup *netsim.Packet
+	arrive   time.Duration // destination-side delivery time
+	sent     time.Duration // sender-side serialisation-complete time (stamp)
+}
+
+// handoff is the SPSC queue for one (source shard, destination shard) pair.
+type handoff struct {
+	msgs []shardMsg
+}
+
+// windowReq asks a shard worker to execute one synchronization window.
+type windowReq struct {
+	until     time.Duration
+	inclusive bool // final window: run events at exactly until as RunUntil does
+}
+
+// shardState is one shard: its scheduler, its worker goroutine's channels,
+// and the recycled injection arguments for deliveries into this shard.
+type shardState struct {
+	sched   *simtime.Scheduler
+	running atomic.Bool // true while the worker executes a window
+	cmd     chan windowReq
+	done    chan struct{}
+	free    []*shardMsg // recycled InjectAt arguments, owned by this shard
+	fire    func(any)   // built once: delivers a *shardMsg on this shard
+}
+
+func (ss *shardState) loop() {
+	for req := range ss.cmd {
+		ss.running.Store(true)
+		if req.inclusive {
+			ss.sched.RunUntil(req.until)
+		} else {
+			ss.sched.RunUntilBefore(req.until)
+		}
+		ss.running.Store(false)
+		ss.done <- struct{}{}
+	}
+}
+
+// getMsg pops a recycled injection argument (or allocates one). Called by the
+// coordinator at barriers; recycleMsg is called by the shard worker when the
+// delivery fires. The two never run concurrently — barriers exclude windows.
+func (ss *shardState) getMsg() *shardMsg {
+	if n := len(ss.free); n > 0 {
+		m := ss.free[n-1]
+		ss.free = ss.free[:n-1]
+		return m
+	}
+	return new(shardMsg)
+}
+
+// shardRun coordinates the K shard workers of one sharded simulation.
+type shardRun struct {
+	plan    shardPlan
+	states  []*shardState
+	queues  [][]*handoff // [source shard][destination shard]
+	control atomic.Bool  // single-threaded coordinator phase (build, barriers)
+}
+
+func newShardRun(plan shardPlan) *shardRun {
+	sr := &shardRun{plan: plan}
+	sr.control.Store(true)
+	sr.states = make([]*shardState, plan.nshards)
+	sr.queues = make([][]*handoff, plan.nshards)
+	for i := range sr.states {
+		ss := &shardState{
+			sched: simtime.NewScheduler(),
+			cmd:   make(chan windowReq),
+			done:  make(chan struct{}),
+		}
+		ss.fire = func(x any) {
+			m := x.(*shardMsg)
+			m.link.DeliverRemote(m.pkt, m.dup, ss.sched.Now())
+			*m = shardMsg{}
+			ss.free = append(ss.free, m)
+		}
+		sr.states[i] = ss
+		sr.queues[i] = make([]*handoff, plan.nshards)
+		for j := range sr.queues[i] {
+			sr.queues[i][j] = &handoff{}
+		}
+	}
+	return sr
+}
+
+// ownerCheck returns the ownership predicate for components living on shard
+// i: code may run during shard i's window or any single-threaded coordinator
+// phase (build, workload start, barriers, collection). The check is phase-
+// based, not caller-identity-based (Go deliberately hides goroutine
+// identity, and the hot paths cannot afford more): it catches stray drives
+// from outside the execution protocol — a leaked callback after shutdown, a
+// test poking a built Sim mid-run, a delivery while the owning shard is
+// quiescent — but a wrong-shard call made while the owning shard happens to
+// be mid-window passes undetected.
+func (sr *shardRun) ownerCheck(i int) func() bool {
+	ss := sr.states[i]
+	return func() bool { return ss.running.Load() || sr.control.Load() }
+}
+
+// connectRemote installs the cross-shard handoff on a directional link whose
+// transmitter lives on shard src and whose receiver lives on shard dst.
+func (sr *shardRun) connectRemote(l *netsim.Link, src, dst int) {
+	q := sr.queues[src][dst]
+	l.SetRemoteDeliver(func(pkt, dup *netsim.Packet, arrive, sent time.Duration) {
+		q.msgs = append(q.msgs, shardMsg{link: l, pkt: pkt, dup: dup, arrive: arrive, sent: sent})
+	})
+}
+
+// window runs every shard up to (or through, if inclusive) until, in
+// parallel, and returns when all workers are quiescent again.
+func (sr *shardRun) window(until time.Duration, inclusive bool) {
+	sr.control.Store(false)
+	for _, ss := range sr.states {
+		ss.cmd <- windowReq{until: until, inclusive: inclusive}
+	}
+	for _, ss := range sr.states {
+		<-ss.done
+	}
+	sr.control.Store(true)
+}
+
+// drain moves every pending cross-shard delivery into its destination
+// scheduler. Sources are drained in shard order and each queue in FIFO
+// order, which — together with the (time, stamp, seq) heap order — pins the
+// injection order deterministically.
+//
+// Residual tie rule: when an injected delivery ties a competitor on BOTH
+// arrival time and insertion stamp, the remaining seq order is assigned
+// here at the barrier, whereas the serial run would have used the execution
+// order of the two inserting events at that shared nanosecond instant —
+// across different source shards the fallback is source-shard order, and
+// against a local event inserted at exactly the stamp instant the local
+// event wins. Shards are numbered in first-mention order of their nodes,
+// which is also the build order that seeds the serial seq chain, so the
+// orders coincide for the symmetric workloads that actually produce such
+// double ties (pinned by the lockstep variant in
+// TestShardedRunsAreByteIdentical); a workload engineered to make two
+// different shards insert same-arrival events at the same nanosecond could
+// in principle diverge from serial.
+func (sr *shardRun) drain() {
+	for dst, ds := range sr.states {
+		for src := range sr.states {
+			q := sr.queues[src][dst]
+			for i := range q.msgs {
+				m := ds.getMsg()
+				*m = q.msgs[i]
+				ds.sched.InjectAt(m.arrive, m.sent, ds.fire, m)
+			}
+			q.msgs = q.msgs[:0]
+		}
+	}
+}
+
+// run executes the sharded simulation for duration d, firing the dynamics
+// timeline (if any) at barriers. It matches the serial path's
+// RunUntil(duration): the final window is inclusive so events scheduled at
+// exactly d still execute.
+func (sr *shardRun) run(d time.Duration, tl *dynamics.Timeline, events []dynamics.Event) {
+	for _, ss := range sr.states {
+		go ss.loop()
+	}
+	// Barrier times of the dynamics timeline: windows never straddle an
+	// event, so each event fires with every shard stopped exactly at its
+	// timestamp, before any same-timestamp packet event — the order the
+	// serial scheduler produces for the timeline's build-time insertions.
+	var dyn []time.Duration
+	for _, ev := range events {
+		if ev.At > 0 && ev.At <= d {
+			dyn = append(dyn, ev.At)
+		}
+	}
+	sort.Slice(dyn, func(i, j int) bool { return dyn[i] < dyn[j] })
+
+	w := time.Duration(0)
+	for w < d {
+		end := d
+		if sr.plan.lookahead < d-w {
+			end = w + sr.plan.lookahead
+		}
+		for len(dyn) > 0 && dyn[0] <= w {
+			dyn = dyn[1:]
+		}
+		if len(dyn) > 0 && dyn[0] < end {
+			end = dyn[0]
+		}
+		sr.window(end, false)
+		for _, ss := range sr.states {
+			ss.sched.AdvanceTo(end)
+		}
+		sr.drain()
+		if tl != nil && len(dyn) > 0 && dyn[0] == end {
+			tl.Advance(end)
+		}
+		w = end
+	}
+	sr.window(d, true)
+	for _, ss := range sr.states {
+		close(ss.cmd)
+	}
+	// Deliveries scheduled past the end of the run never execute; release
+	// their packets so the pool gets them back.
+	for _, row := range sr.queues {
+		for _, q := range row {
+			for i := range q.msgs {
+				q.msgs[i].pkt.Release()
+				if q.msgs[i].dup != nil {
+					q.msgs[i].dup.Release()
+				}
+			}
+			q.msgs = nil
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package scenario
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkShardedDumbbellGrid runs the 64-node cluster grid serially and at
+// 2/4/8 shards. One op is a complete simulation (build, run, collect); the
+// serial/shards-4 ratio is the headline sharding speedup recorded in the
+// BENCH_<pr>.json snapshots. On a single-core machine the sharded variants
+// measure pure synchronization overhead instead (GOMAXPROCS gates any real
+// parallelism).
+func BenchmarkShardedDumbbellGrid(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		name := "serial"
+		if shards > 1 {
+			name = fmt.Sprintf("shards-%d", shards)
+		}
+		b.Run(name, func(b *testing.B) {
+			spec := DumbbellGrid(GridParams{Duration: 2 * time.Second})
+			spec.Shards = shards
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

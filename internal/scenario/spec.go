@@ -109,6 +109,13 @@ type Spec struct {
 	Duration time.Duration `json:"duration,omitempty"`
 	// Seed derives per-link seeds for links that leave Seed zero (default 1).
 	Seed int64 `json:"seed,omitempty"`
+	// Shards requests sharded execution: the topology is partitioned into up
+	// to Shards host groups (delay-weighted, so the smallest cross-shard link
+	// delay — the conservative lookahead — is maximized) and each group runs
+	// on its own scheduler and worker goroutine. Results are byte-identical
+	// to a serial run. 0 or 1 runs serially; so does any partition whose
+	// lookahead would be zero.
+	Shards int `json:"shards,omitempty"`
 	// CMOpts configures every Congestion Manager the spec instantiates. It
 	// is programmatic-only state (functions), invisible to JSON.
 	CMOpts []cm.Option `json:"-"`
@@ -243,6 +250,9 @@ func (s *Spec) Validate() error {
 		if err := ev.Validate(len(s.Links)); err != nil {
 			return fmt.Errorf("scenario %q: event %d: %w", s.Name, i, err)
 		}
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("scenario %q: negative shard count %d", s.Name, s.Shards)
 	}
 	return nil
 }

@@ -1,0 +1,98 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+// An injected event must sort among same-timestamp local events by its
+// insertion stamp: local events inserted before the remote sender's
+// serialisation time run first, later ones after — the order one shared
+// scheduler would have produced.
+func TestInjectAtStampOrdering(t *testing.T) {
+	s := NewScheduler()
+	var order []string
+	rec := func(tag string) func() { return func() { order = append(order, tag) } }
+
+	// Local event scheduled at t=0 for t=10ms: stamp 0.
+	s.At(10*time.Millisecond, rec("early-local"))
+	// Run to 2ms so later insertions carry a larger stamp.
+	s.RunUntil(2 * time.Millisecond)
+	// Local event scheduled at t=2ms for the same t=10ms: stamp 2ms.
+	s.At(10*time.Millisecond, rec("late-local"))
+	// Injection stamped 1ms: between the two local insertions.
+	s.InjectAt(10*time.Millisecond, time.Millisecond, func(any) { order = append(order, "injected") }, nil)
+	s.Run()
+
+	want := []string{"early-local", "injected", "late-local"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestInjectAtPastPanics(t *testing.T) {
+	s := NewScheduler()
+	s.At(5*time.Millisecond, func() {})
+	s.RunUntil(5 * time.Millisecond)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("InjectAt into the past must panic (conservative sync violation)")
+		}
+	}()
+	s.InjectAt(time.Millisecond, 0, func(any) {}, nil)
+}
+
+// RunUntilBefore must stop short of events at exactly the horizon, and
+// AdvanceTo must refuse to skip over pending work.
+func TestRunUntilBeforeAndAdvanceTo(t *testing.T) {
+	s := NewScheduler()
+	ran := make(map[time.Duration]bool)
+	for _, at := range []time.Duration{1 * time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond} {
+		at := at
+		s.At(at, func() { ran[at] = true })
+	}
+	s.RunUntilBefore(2 * time.Millisecond)
+	if !ran[time.Millisecond] || ran[2*time.Millisecond] {
+		t.Fatalf("RunUntilBefore(2ms) ran %v; want only the 1ms event", ran)
+	}
+	if s.Now() != time.Millisecond {
+		t.Fatalf("clock at %v after RunUntilBefore, want 1ms (last executed event)", s.Now())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("AdvanceTo over a pending event must panic")
+			}
+		}()
+		s.AdvanceTo(3 * time.Millisecond)
+	}()
+	s.AdvanceTo(2 * time.Millisecond)
+	if s.Now() != 2*time.Millisecond {
+		t.Fatalf("clock at %v after AdvanceTo(2ms)", s.Now())
+	}
+	s.Run()
+	if !ran[2*time.Millisecond] || !ran[3*time.Millisecond] {
+		t.Fatalf("remaining events did not run: %v", ran)
+	}
+}
+
+// Injection must reuse the freelist like local scheduling does: a warm
+// inject/fire cycle allocates nothing.
+func TestInjectAtZeroAlloc(t *testing.T) {
+	s := NewScheduler()
+	fn := func(any) {}
+	var arg struct{}
+	for i := 0; i < 64; i++ {
+		s.InjectAt(s.Now()+time.Microsecond, s.Now(), fn, &arg)
+		s.Step()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		s.InjectAt(s.Now()+time.Microsecond, s.Now(), fn, &arg)
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("inject+fire allocated %.1f objects per op, want 0", allocs)
+	}
+}

@@ -7,7 +7,12 @@
 //
 // The central type is Scheduler. Events are scheduled at absolute virtual
 // times or after relative delays and are executed in timestamp order; ties are
-// broken by scheduling order (FIFO), which keeps runs reproducible.
+// broken by scheduling order (FIFO), which keeps runs reproducible. Each event
+// additionally records the virtual time it was *inserted* (its stamp), and the
+// full heap order is (time, stamp, seq). For ordinary scheduling the stamp is
+// redundant — stamps are nondecreasing in seq — but it is what lets a sharded
+// simulation inject events from another scheduler (InjectAt) into exactly the
+// position a single-scheduler run would have given them.
 //
 // The scheduler is built for the inner loop of large experiments: the event
 // queue is a specialized 4-ary min-heap (no container/heap interface
@@ -55,34 +60,47 @@ type TimerFactory interface {
 // later scheduling, so callers must not retain or Cancel a handle past that
 // point (the Timer type wraps this protocol for the common rearm pattern).
 type Event struct {
-	at       time.Duration
-	seq      uint64
-	index    int // heap index, -1 when not queued
-	s        *Scheduler
-	fn       func()
-	argFn    func(any)
-	arg      any
-	canceled bool
+	at time.Duration
+	// stamp is the virtual time the event was inserted: Now for local
+	// scheduling, the remote sender's insertion time for InjectAt. It is the
+	// second heap key, before seq, so injected events sort exactly where a
+	// single-scheduler run would have placed them.
+	stamp time.Duration
+	seq   uint64
+	// index is the heap position while queued, notQueued after firing or
+	// recycling, and canceledIdx once Cancel has run — folding the canceled
+	// flag into the index keeps the Event at 72 bytes (a bool would pad it
+	// to 80, measurably slowing the tie-heavy churn benchmark).
+	index int
+	s     *Scheduler
+	fn    func()
+	argFn func(any)
+	arg   any
 }
+
+const (
+	notQueued   = -1
+	canceledIdx = -2
+)
 
 // Time returns the virtual time at which the event is scheduled to run.
 func (e *Event) Time() time.Duration { return e.at }
 
 // Canceled reports whether Cancel was called on the event.
-func (e *Event) Canceled() bool { return e.canceled }
+func (e *Event) Canceled() bool { return e.index == canceledIdx }
 
 // Cancel prevents the event from running and removes it from the scheduler's
 // queue immediately, so cancelled events cost nothing until their timestamp.
 // Cancelling an event that has already run or been cancelled is a no-op.
 func (e *Event) Cancel() {
-	if e.canceled {
+	if e.index == canceledIdx {
 		return
 	}
-	e.canceled = true
 	if e.index >= 0 && e.s != nil {
 		e.s.removeEvent(e.index)
 		e.s.recycle(e)
 	}
+	e.index = canceledIdx
 }
 
 // fire invokes the event's callback.
@@ -100,11 +118,18 @@ func (e *Event) fire() {
 // reproduction deterministic.
 type Scheduler struct {
 	now      time.Duration
-	events   []*Event // 4-ary min-heap ordered by (at, seq)
+	events   []*Event // 4-ary min-heap ordered by (at, seq) / (at, stamp, seq)
 	free     []*Event // recycled events; bounds steady-state allocation at zero
 	seq      uint64
 	executed uint64
 	limit    uint64 // safety valve against runaway simulations; 0 = no limit
+	// stamped selects the three-key comparator that orders same-timestamp
+	// events by insertion stamp before seq. It flips on the first InjectAt
+	// and never back: for purely local scheduling stamps are nondecreasing
+	// in seq, so both comparators produce the same order (which also makes
+	// the mid-run flip safe — the heap is valid under either), and serial
+	// simulations never pay for the extra comparison.
+	stamped bool
 }
 
 // NewScheduler returns a scheduler with the virtual clock at zero.
@@ -143,6 +168,16 @@ func eventLess(a, b *Event) bool {
 	return a.seq < b.seq
 }
 
+func eventLessStamped(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.stamp != b.stamp {
+		return a.stamp < b.stamp
+	}
+	return a.seq < b.seq
+}
+
 func (s *Scheduler) heapPush(ev *Event) {
 	ev.index = len(s.events)
 	s.events = append(s.events, ev)
@@ -158,7 +193,7 @@ func (s *Scheduler) heapPop() *Event {
 	last := h[n]
 	h[n] = nil
 	s.events = h[:n]
-	ev.index = -1
+	ev.index = notQueued
 	if n > 0 {
 		last.index = 0
 		s.events[0] = last
@@ -175,7 +210,7 @@ func (s *Scheduler) removeEvent(i int) {
 	last := h[n]
 	h[n] = nil
 	s.events = h[:n]
-	removed.index = -1
+	removed.index = notQueued
 	if i != n {
 		last.index = i
 		s.events[i] = last
@@ -185,7 +220,17 @@ func (s *Scheduler) removeEvent(i int) {
 	}
 }
 
+// The sift loops exist twice — once per comparator — because the comparison
+// sits in the innermost loop of the whole simulator: dispatching through a
+// function value (or loading the unused stamp field on every compare) costs
+// ~20% on tie-heavy workloads, measured by BenchmarkScaleEventChurn. The
+// bodies must stay textually identical apart from the eventLess call.
+
 func (s *Scheduler) siftUp(i int) {
+	if s.stamped {
+		s.siftUpStamped(i)
+		return
+	}
 	h := s.events
 	ev := h[i]
 	for i > 0 {
@@ -203,6 +248,10 @@ func (s *Scheduler) siftUp(i int) {
 }
 
 func (s *Scheduler) siftDown(i int) {
+	if s.stamped {
+		s.siftDownStamped(i)
+		return
+	}
 	h := s.events
 	n := len(h)
 	ev := h[i]
@@ -234,6 +283,54 @@ func (s *Scheduler) siftDown(i int) {
 	ev.index = i
 }
 
+func (s *Scheduler) siftUpStamped(i int) {
+	h := s.events
+	ev := h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		p := h[parent]
+		if !eventLessStamped(ev, p) {
+			break
+		}
+		h[i] = p
+		p.index = i
+		i = parent
+	}
+	h[i] = ev
+	ev.index = i
+}
+
+func (s *Scheduler) siftDownStamped(i int) {
+	h := s.events
+	n := len(h)
+	ev := h[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if eventLessStamped(h[c], h[min]) {
+				min = c
+			}
+		}
+		child := h[min]
+		if !eventLessStamped(child, ev) {
+			break
+		}
+		h[i] = child
+		child.index = i
+		i = min
+	}
+	h[i] = ev
+	ev.index = i
+}
+
 // newEvent takes an event from the freelist (or allocates one) and resets it.
 func (s *Scheduler) newEvent(t time.Duration) *Event {
 	var ev *Event
@@ -245,9 +342,10 @@ func (s *Scheduler) newEvent(t time.Duration) *Event {
 		ev = &Event{}
 	}
 	ev.at = t
+	ev.stamp = s.now
 	ev.seq = s.seq
+	ev.index = notQueued
 	ev.s = s
-	ev.canceled = false
 	s.seq++
 	return ev
 }
@@ -310,6 +408,43 @@ func (s *Scheduler) AfterArg(d time.Duration, fn func(any), arg any) *Event {
 	return s.AtArg(s.now+d, fn, arg)
 }
 
+// InjectAt schedules fn(arg) at absolute time t with an explicit insertion
+// stamp. It is the cross-scheduler handoff used by sharded execution: the
+// sending shard computed the event (a packet delivery) at virtual time stamp,
+// and the receiving shard schedules it during a synchronization barrier. The
+// stamp slots the event among same-timestamp local events exactly where a
+// single-scheduler run would have placed it — local events inserted earlier
+// than stamp sort first, later ones after — so sharded runs reproduce the
+// serial event order. (A local event inserted at *exactly* the stamp instant
+// with the same target time still sorts by seq, i.e. before the injection;
+// see the residual tie rule on scenario's drain for why that matches the
+// runs we can observe.)
+//
+// Injecting into the past (t < Now) panics: it means the conservative
+// synchronization invariant (arrival >= sender clock + lookahead >= receiver
+// clock) was violated, and executing the event would silently diverge from
+// the serial run instead.
+func (s *Scheduler) InjectAt(t, stamp time.Duration, fn func(any), arg any) *Event {
+	if fn == nil {
+		panic("simtime: InjectAt called with nil function")
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("simtime: InjectAt(%v) into the past at t=%v (conservative sync violated)", t, s.now))
+	}
+	if stamp > t {
+		stamp = t
+	}
+	// Injection is what makes stamps carry information; switch to the
+	// stamp-aware comparator from here on (see Scheduler.stamped).
+	s.stamped = true
+	ev := s.newEvent(t)
+	ev.stamp = stamp
+	ev.argFn = fn
+	ev.arg = arg
+	s.heapPush(ev)
+	return ev
+}
+
 // Step executes the earliest pending event, advancing the virtual clock to its
 // timestamp. It returns false if no events remain.
 func (s *Scheduler) Step() bool {
@@ -328,7 +463,7 @@ func (s *Scheduler) Step() bool {
 	// Recycle only after the callback: an executing event is never in the
 	// freelist, so a callback that schedules new work cannot be handed its
 	// own still-running event.
-	if !ev.canceled {
+	if ev.index != canceledIdx {
 		s.recycle(ev)
 	}
 	return true
@@ -355,6 +490,30 @@ func (s *Scheduler) RunUntil(t time.Duration) {
 // RunFor executes events for a span d of virtual time starting at Now.
 func (s *Scheduler) RunFor(d time.Duration) {
 	s.RunUntil(s.now + d)
+}
+
+// RunUntilBefore executes events with timestamps strictly before t and leaves
+// the clock at the last executed event. It is the window-execution primitive
+// of sharded runs: events at exactly t belong to the next window (a barrier at
+// t may fire network dynamics that must order before them), so the clock is
+// advanced to t separately with AdvanceTo once the barrier completes.
+func (s *Scheduler) RunUntilBefore(t time.Duration) {
+	for len(s.events) > 0 && s.events[0].at < t {
+		s.Step()
+	}
+}
+
+// AdvanceTo moves the clock forward to t without executing anything. It
+// panics if an event earlier than t is still pending — advancing over it
+// would skip it — so it doubles as the end-of-window assertion that
+// RunUntilBefore really drained the window.
+func (s *Scheduler) AdvanceTo(t time.Duration) {
+	if len(s.events) > 0 && s.events[0].at < t {
+		panic(fmt.Sprintf("simtime: AdvanceTo(%v) over pending event at %v", t, s.events[0].at))
+	}
+	if t > s.now {
+		s.now = t
+	}
 }
 
 // NewTimer implements TimerFactory: the returned timer schedules fn on the
