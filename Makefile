@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench perf bench-smoke
+.PHONY: ci vet build test race bench perf bench-smoke sweep-smoke
 
 ci: vet build race bench
 
@@ -29,8 +29,18 @@ perf:
 	$(GO) run ./cmd/cmbench -experiment perf -perfout BENCH_1.json
 
 # Per-PR perf trajectory point: the core-loop + sharded-scenario benchmarks
-# written to BENCH_4.json (CI uploads it as an artifact) and diffed against
+# written to BENCH_5.json (CI uploads it as an artifact) and diffed against
 # the newest committed BENCH_*.json — any shared benchmark regressing >25%
 # in ns/op fails the target.
 bench-smoke:
-	$(GO) run ./cmd/cmbench -experiment perf -pr 4 -perfout BENCH_4.json -compare latest
+	$(GO) run ./cmd/cmbench -experiment perf -pr 5 -perfout BENCH_5.json -compare latest
+
+# Tiny two-axis sweep campaign through the sweep engine: an end-to-end smoke
+# of expansion, the parallel runner, aggregation and the CSV emitter. CI
+# uploads SWEEP_SMOKE.csv as an artifact next to the bench snapshot; the
+# emitter is deterministic, so the artifact's bytes are stable per commit
+# whatever -parallel is.
+sweep-smoke:
+	$(GO) run ./cmd/cmsim -scenario p2p -parallel 8 -replicates 2 \
+		-sweep "link[0].loss=0,0.01" -sweep "workload[0].flows=1,2" \
+		-csv > SWEEP_SMOKE.csv

@@ -1,6 +1,7 @@
-// Command cmsim runs simulation scenarios: either a named scenario from the
-// registry (multi-hop topologies with routed forwarding) or an ad-hoc
-// point-to-point bulk transfer described by flags.
+// Command cmsim runs simulation scenarios: a named scenario from the
+// registry (multi-hop topologies with routed forwarding), a parameter-sweep
+// campaign over one, or an ad-hoc point-to-point bulk transfer described by
+// flags.
 //
 // Scenario mode:
 //
@@ -10,6 +11,17 @@
 //	cmsim -scenario dumbbell -runs 8 -parallel 8 # replicate for determinism checks
 //	cmsim -scenario dumbbell -json               # machine-readable results
 //	cmsim -scenario grid -shards 4               # shard one simulation across workers
+//
+// Sweep mode (see docs/SWEEPS.md for the axis and campaign grammar):
+//
+//	cmsim -scenario p2p -sweep "link[0].loss=0,0.01,0.05" -replicates 3       # list axis
+//	cmsim -scenario p2p -sweep "link[0].bandwidth=1e6:10e6:4" -csv            # linear axis
+//	cmsim -scenario p2p -sweep "workload[0].flows=log:1:64:7"                 # log axis
+//	cmsim -campaign examples/campaigns/fig3.json -csv                         # campaign file
+//
+// Sweep results aggregate each selected metric across seed replicates
+// (mean/stddev/min/max/p50/p99) and emit as an aligned table, -json, or
+// deterministic -csv whose bytes are identical for any -parallel setting.
 //
 // Legacy point-to-point mode (no -scenario):
 //
@@ -24,14 +36,23 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/netsim"
 	"repro/internal/scenario"
+	"repro/internal/sweep"
 )
 
+// sweepFlags collects repeated -sweep flags.
+type sweepFlags []string
+
+func (s *sweepFlags) String() string     { return strings.Join(*s, "; ") }
+func (s *sweepFlags) Set(v string) error { *s = append(*s, v); return nil }
+
 func main() {
+	var sweeps sweepFlags
 	var (
 		list     = flag.Bool("list", false, "print the registered scenarios and exit")
 		names    = flag.String("scenario", "", "comma-separated scenario names to run (see -list)")
@@ -39,6 +60,10 @@ func main() {
 		runs     = flag.Int("runs", 1, "replicas of each scenario (for determinism and sweep checks)")
 		shards   = flag.Int("shards", 0, "shard one simulation across this many worker goroutines (0/1 = serial; results are byte-identical)")
 		jsonOut  = flag.Bool("json", false, "emit results as JSON")
+
+		campaign   = flag.String("campaign", "", "run a sweep campaign from this JSON file (see docs/SWEEPS.md)")
+		replicates = flag.Int("replicates", 1, "sweep mode: seed replicates per sweep point")
+		csvOut     = flag.Bool("csv", false, "sweep mode: emit the aggregated results as CSV")
 
 		bw       = flag.Float64("bw", 10e6, "legacy mode: bottleneck bandwidth in bits/second")
 		rtt      = flag.Duration("rtt", 60*time.Millisecond, "legacy mode: round-trip propagation delay")
@@ -50,11 +75,22 @@ func main() {
 		seed     = flag.Int64("seed", 1, "legacy mode: random seed for the loss process")
 		deadline = flag.Duration("deadline", time.Hour, "legacy mode: virtual-time deadline")
 	)
+	flag.Var(&sweeps, "sweep", "sweep mode: one axis as param=values (repeatable): v1,v2,... | min:max:steps | log:min:max:steps")
 	flag.Parse()
 
 	if *list {
 		for _, name := range scenario.List() {
 			fmt.Printf("%-18s %s\n", name, scenario.Describe(name))
+		}
+		return
+	}
+
+	if *campaign != "" || len(sweeps) > 0 {
+		set := make(map[string]bool)
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if err := runCampaign(*campaign, sweeps, *names, *replicates, *shards, *parallel, *jsonOut, *csvOut, set); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
 		}
 		return
 	}
@@ -109,6 +145,112 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runCampaign executes sweep mode: a campaign loaded from a JSON file, or
+// one assembled from -scenario plus repeated -sweep axes. With -campaign,
+// explicitly passed -replicates/-shards override the file's values; a
+// -scenario alongside -campaign is rejected rather than silently ignored.
+func runCampaign(file string, sweeps []string, names string, replicates, shards, parallel int, jsonOut, csvOut bool, set map[string]bool) error {
+	var camp sweep.Campaign
+	switch {
+	case file != "" && len(sweeps) > 0:
+		return fmt.Errorf("-campaign and -sweep are mutually exclusive")
+	case file != "":
+		if set["scenario"] {
+			return fmt.Errorf("-campaign and -scenario are mutually exclusive (the campaign file names its base)")
+		}
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &camp); err != nil {
+			return fmt.Errorf("campaign %s: %w", file, err)
+		}
+		if set["replicates"] {
+			camp.Replicates = replicates
+		}
+		if set["shards"] {
+			camp.Shards = shards
+		}
+	default:
+		if names == "" || strings.Contains(names, ",") {
+			return fmt.Errorf("-sweep needs exactly one base -scenario")
+		}
+		camp = sweep.Campaign{Name: names, Scenario: names, Replicates: replicates, Shards: shards}
+		for _, s := range sweeps {
+			axis, err := parseSweepAxis(s)
+			if err != nil {
+				return err
+			}
+			camp.Axes = append(camp.Axes, axis)
+		}
+	}
+	res, err := camp.Run(scenario.Runner{Parallel: parallel})
+	if err != nil {
+		return err
+	}
+	switch {
+	case csvOut:
+		fmt.Print(res.CSV())
+	case jsonOut:
+		data, err := res.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", data)
+	default:
+		fmt.Print(res.Table())
+	}
+	return nil
+}
+
+// parseSweepAxis parses one -sweep flag: "param=v1,v2,..." (a list, strings
+// when any value is non-numeric), "param=min:max:steps" (linear) or
+// "param=log:min:max:steps".
+func parseSweepAxis(s string) (sweep.Axis, error) {
+	param, spec, ok := strings.Cut(s, "=")
+	if !ok || param == "" || spec == "" {
+		return sweep.Axis{}, fmt.Errorf("-sweep %q: want param=values", s)
+	}
+	axis := sweep.Axis{Param: param}
+	if colons := strings.Split(spec, ":"); len(colons) > 1 {
+		if colons[0] == "log" {
+			axis.Scale = sweep.ScaleLog
+			colons = colons[1:]
+		}
+		if len(colons) != 3 {
+			return sweep.Axis{}, fmt.Errorf("-sweep %q: range wants min:max:steps", s)
+		}
+		var err error
+		if axis.Min, err = strconv.ParseFloat(colons[0], 64); err != nil {
+			return sweep.Axis{}, fmt.Errorf("-sweep %q: bad min %q", s, colons[0])
+		}
+		if axis.Max, err = strconv.ParseFloat(colons[1], 64); err != nil {
+			return sweep.Axis{}, fmt.Errorf("-sweep %q: bad max %q", s, colons[1])
+		}
+		if axis.Steps, err = strconv.Atoi(colons[2]); err != nil || axis.Steps < 1 {
+			return sweep.Axis{}, fmt.Errorf("-sweep %q: bad steps %q", s, colons[2])
+		}
+		return axis, nil
+	}
+	parts := strings.Split(spec, ",")
+	nums := make([]float64, 0, len(parts))
+	numeric := true
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			numeric = false
+			break
+		}
+		nums = append(nums, v)
+	}
+	if numeric {
+		axis.Values = nums
+	} else {
+		axis.Strings = parts
+	}
+	return axis, nil
 }
 
 // legacySpec maps the original cmsim flags onto a point-to-point scenario.

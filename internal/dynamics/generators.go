@@ -1,0 +1,188 @@
+package dynamics
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// Generator kinds.
+const (
+	// GenPoissonFlaps alternates a link between up and down with
+	// exponentially distributed sojourn times (a Poisson flap process): the
+	// link stays up for Exp(MeanUp), fails, stays down for Exp(MeanDown),
+	// recovers, and so on until End.
+	GenPoissonFlaps = "poisson-flaps"
+	// GenBandwidthWalk performs a multiplicative Markov random walk on the
+	// link bandwidth: every Step the rate is multiplied or divided by Factor
+	// with equal probability, clamped to [Min, Max].
+	GenBandwidthWalk = "bandwidth-walk"
+)
+
+// Generator is a seeded stochastic event source. It is declarative sugar over
+// the Timeline: Expand samples the whole process up front with a private
+// seeded RNG and returns ordinary deterministic Events, so a long churn trace
+// does not have to be declared event by event and every execution property of
+// declared timelines — serial/parallel byte-identity, sharded barrier firing,
+// per-event records — is inherited for free.
+type Generator struct {
+	// Kind is GenPoissonFlaps or GenBandwidthWalk.
+	Kind string `json:"kind"`
+	// Link indexes the scenario's Links slice.
+	Link int `json:"link"`
+	// Direction is DirBoth (default), DirForward or DirReverse.
+	Direction string `json:"direction,omitempty"`
+	// Seed drives the generator's private RNG. Zero derives a deterministic
+	// seed from the owning scenario's seed and the generator's position.
+	Seed int64 `json:"seed,omitempty"`
+	// Start and End bracket the generated process. End <= 0 means "the whole
+	// run" (the owner substitutes the scenario duration before Expand).
+	Start time.Duration `json:"start,omitempty"`
+	End   time.Duration `json:"end,omitempty"`
+
+	// MeanUp and MeanDown are the expected up/down sojourn times of
+	// GenPoissonFlaps (defaults 10s and 1s).
+	MeanUp   time.Duration `json:"mean_up,omitempty"`
+	MeanDown time.Duration `json:"mean_down,omitempty"`
+
+	// Step is the walk interval of GenBandwidthWalk (default 1s); Factor is
+	// the multiplicative step (default 1.25). Initial is the walk's starting
+	// rate (zero: the owner substitutes the link's configured bandwidth);
+	// Min/Max clamp the walk (defaults Initial/8 and Initial*8).
+	Step    time.Duration    `json:"step,omitempty"`
+	Factor  float64          `json:"factor,omitempty"`
+	Initial netsim.Bandwidth `json:"initial,omitempty"`
+	Min     netsim.Bandwidth `json:"min,omitempty"`
+	Max     netsim.Bandwidth `json:"max,omitempty"`
+}
+
+// Validate checks the generator against a topology with nlinks links. Fields
+// with defaults (seed, means, step, factor, clamps, End) may be zero.
+func (g Generator) Validate(nlinks int) error {
+	if g.Link < 0 || g.Link >= nlinks {
+		return fmt.Errorf("dynamics: generator link %d out of range [0,%d)", g.Link, nlinks)
+	}
+	switch g.Direction {
+	case "", DirBoth, DirForward, DirReverse:
+	default:
+		return fmt.Errorf("dynamics: generator direction %q unknown", g.Direction)
+	}
+	if g.Start < 0 {
+		return fmt.Errorf("dynamics: generator start %v negative", g.Start)
+	}
+	if g.End != 0 && g.End <= g.Start {
+		return fmt.Errorf("dynamics: generator end %v not after start %v", g.End, g.Start)
+	}
+	switch g.Kind {
+	case GenPoissonFlaps:
+		if g.MeanUp < 0 || g.MeanDown < 0 {
+			return fmt.Errorf("dynamics: %s generator needs non-negative means", g.Kind)
+		}
+	case GenBandwidthWalk:
+		if g.Factor != 0 && g.Factor <= 1 {
+			return fmt.Errorf("dynamics: %s generator factor %v must be > 1", g.Kind, g.Factor)
+		}
+		if g.Min < 0 || g.Max < 0 || (g.Min > 0 && g.Max > 0 && g.Min > g.Max) {
+			return fmt.Errorf("dynamics: %s generator clamp [%v, %v] invalid", g.Kind, g.Min, g.Max)
+		}
+	default:
+		return fmt.Errorf("dynamics: generator kind %q unknown", g.Kind)
+	}
+	return nil
+}
+
+// Expand samples the process and returns its events in time order. The caller
+// is expected to have substituted owner-level defaults (Seed, End, Initial);
+// Expand applies the remaining per-kind ones. Expansion is a pure function of
+// the generator value: the same Generator always yields the same events.
+func (g Generator) Expand() []Event {
+	if g.Seed == 0 {
+		g.Seed = 1
+	}
+	if g.End <= g.Start {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(g.Seed))
+	switch g.Kind {
+	case GenPoissonFlaps:
+		return g.expandFlaps(rng)
+	case GenBandwidthWalk:
+		return g.expandWalk(rng)
+	}
+	return nil
+}
+
+// expDuration samples Exp(mean), floored at 1ms so degenerate draws cannot
+// produce zero-length sojourns (which would stack down/up pairs on one
+// instant).
+func expDuration(rng *rand.Rand, mean time.Duration) time.Duration {
+	d := time.Duration(rng.ExpFloat64() * float64(mean))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+func (g Generator) expandFlaps(rng *rand.Rand) []Event {
+	if g.MeanUp == 0 {
+		g.MeanUp = 10 * time.Second
+	}
+	if g.MeanDown == 0 {
+		g.MeanDown = time.Second
+	}
+	var evs []Event
+	t := g.Start
+	for {
+		t += expDuration(rng, g.MeanUp)
+		if t >= g.End {
+			break
+		}
+		recover := t + expDuration(rng, g.MeanDown)
+		if recover > g.End {
+			recover = g.End
+		}
+		evs = append(evs,
+			Event{At: t, Kind: LinkDown, Link: g.Link, Direction: g.Direction},
+			Event{At: recover, Kind: LinkUp, Link: g.Link, Direction: g.Direction},
+		)
+		t = recover
+	}
+	return evs
+}
+
+func (g Generator) expandWalk(rng *rand.Rand) []Event {
+	if g.Step == 0 {
+		g.Step = time.Second
+	}
+	if g.Factor == 0 {
+		g.Factor = 1.25
+	}
+	if g.Initial <= 0 {
+		return nil
+	}
+	if g.Min == 0 {
+		g.Min = g.Initial / 8
+	}
+	if g.Max == 0 {
+		g.Max = g.Initial * 8
+	}
+	var evs []Event
+	bw := g.Initial
+	for t := g.Start + g.Step; t < g.End; t += g.Step {
+		if rng.Float64() < 0.5 {
+			bw = netsim.Bandwidth(float64(bw) * g.Factor)
+		} else {
+			bw = netsim.Bandwidth(float64(bw) / g.Factor)
+		}
+		if bw < g.Min {
+			bw = g.Min
+		}
+		if bw > g.Max {
+			bw = g.Max
+		}
+		evs = append(evs, Event{At: t, Kind: SetBandwidth, Link: g.Link, Direction: g.Direction, Bandwidth: bw})
+	}
+	return evs
+}

@@ -1,0 +1,121 @@
+package dynamics
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+func TestGeneratorValidate(t *testing.T) {
+	good := []Generator{
+		{Kind: GenPoissonFlaps, Link: 0},
+		{Kind: GenPoissonFlaps, Link: 1, Direction: DirForward, Start: time.Second, End: 2 * time.Second},
+		{Kind: GenBandwidthWalk, Link: 0, Factor: 2, Min: netsim.Mbps, Max: 10 * netsim.Mbps},
+	}
+	for i, g := range good {
+		if err := g.Validate(2); err != nil {
+			t.Fatalf("generator %d should validate: %v", i, err)
+		}
+	}
+	bad := []Generator{
+		{Kind: "nope", Link: 0},
+		{Kind: GenPoissonFlaps, Link: 2},
+		{Kind: GenPoissonFlaps, Link: -1},
+		{Kind: GenPoissonFlaps, Link: 0, Direction: "sideways"},
+		{Kind: GenPoissonFlaps, Link: 0, Start: 2 * time.Second, End: time.Second},
+		{Kind: GenBandwidthWalk, Link: 0, Factor: 0.5},
+		{Kind: GenBandwidthWalk, Link: 0, Min: 10 * netsim.Mbps, Max: netsim.Mbps},
+	}
+	for i, g := range bad {
+		if err := g.Validate(2); err == nil {
+			t.Fatalf("generator %d should fail validation: %+v", i, g)
+		}
+	}
+}
+
+// TestPoissonFlapsExpand checks the structural invariants of the flap
+// process: alternating down/up pairs, monotone times inside [Start, End],
+// and deterministic re-expansion.
+func TestPoissonFlapsExpand(t *testing.T) {
+	g := Generator{
+		Kind: GenPoissonFlaps, Link: 3, Seed: 7,
+		Start: time.Second, End: 60 * time.Second,
+		MeanUp: 2 * time.Second, MeanDown: 500 * time.Millisecond,
+	}
+	evs := g.Expand()
+	if len(evs) == 0 || len(evs)%2 != 0 {
+		t.Fatalf("expected down/up pairs, got %d events", len(evs))
+	}
+	prev := g.Start
+	for i := 0; i < len(evs); i += 2 {
+		down, up := evs[i], evs[i+1]
+		if down.Kind != LinkDown || up.Kind != LinkUp {
+			t.Fatalf("pair %d kinds = %s/%s", i/2, down.Kind, up.Kind)
+		}
+		if down.Link != 3 || up.Link != 3 {
+			t.Fatalf("pair %d wrong link", i/2)
+		}
+		if down.At <= prev || up.At <= down.At || up.At > g.End {
+			t.Fatalf("pair %d times out of order: prev=%v down=%v up=%v", i/2, prev, down.At, up.At)
+		}
+		prev = up.At
+	}
+	if !reflect.DeepEqual(evs, g.Expand()) {
+		t.Fatal("expansion not deterministic")
+	}
+	g2 := g
+	g2.Seed = 8
+	if reflect.DeepEqual(evs, g2.Expand()) {
+		t.Fatal("different seeds should produce different traces")
+	}
+	for _, ev := range evs {
+		if err := ev.Validate(4); err != nil {
+			t.Fatalf("expanded event invalid: %v", err)
+		}
+	}
+}
+
+// TestBandwidthWalkExpand checks the walk stays clamped, steps on the step
+// grid and only ever moves by Factor.
+func TestBandwidthWalkExpand(t *testing.T) {
+	g := Generator{
+		Kind: GenBandwidthWalk, Link: 1, Seed: 11,
+		End: 30 * time.Second, Step: time.Second, Factor: 2,
+		Initial: 8 * netsim.Mbps, Min: 2 * netsim.Mbps, Max: 32 * netsim.Mbps,
+	}
+	evs := g.Expand()
+	if len(evs) != 29 { // steps at 1s..29s, End exclusive
+		t.Fatalf("events = %d, want 29", len(evs))
+	}
+	prev := g.Initial
+	for i, ev := range evs {
+		if ev.Kind != SetBandwidth || ev.Link != 1 {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+		if want := g.Start + time.Duration(i+1)*g.Step; ev.At != want {
+			t.Fatalf("event %d at %v, want %v", i, ev.At, want)
+		}
+		if ev.Bandwidth < g.Min || ev.Bandwidth > g.Max {
+			t.Fatalf("event %d bandwidth %v outside clamp", i, ev.Bandwidth)
+		}
+		ratio := float64(ev.Bandwidth) / float64(prev)
+		if ratio > 2.000001 || ratio < 0.4999999 {
+			t.Fatalf("event %d moved by %v, want a factor-2 step (or clamp)", i, ratio)
+		}
+		prev = ev.Bandwidth
+	}
+	if !reflect.DeepEqual(evs, g.Expand()) {
+		t.Fatal("expansion not deterministic")
+	}
+}
+
+// TestGeneratorZeroWindow: a generator whose window is empty expands to
+// nothing rather than panicking.
+func TestGeneratorZeroWindow(t *testing.T) {
+	g := Generator{Kind: GenPoissonFlaps, Link: 0, Start: time.Second, End: time.Second}
+	if evs := g.Expand(); len(evs) != 0 {
+		t.Fatalf("empty window expanded to %d events", len(evs))
+	}
+}

@@ -106,45 +106,6 @@ func (w *testbed) senderTCPConfig(cc tcp.CongestionControl) tcp.Config {
 	return cfg
 }
 
-// bulkTransfer runs one sender->receiver TCP transfer of n bytes and returns
-// the time from connection establishment until the receiver has seen all the
-// data and the FIN, plus the sender endpoint for statistics. It runs the
-// simulation until completion or deadline. recvWindow sets the receiver's
-// advertised window (0 uses 1 MB); the Figure 4 LAN experiment uses the
-// 64 KB default socket buffer of the paper's era so the flow is
-// window-limited rather than queue-overflow-limited, as on the real testbed.
-func (w *testbed) bulkTransfer(cc tcp.CongestionControl, n int, port int, deadline time.Duration, recvWindow int) (time.Duration, *tcp.Endpoint, error) {
-	if recvWindow <= 0 {
-		recvWindow = 1 << 20
-	}
-	var delivered int64
-	var doneAt time.Duration
-	var established time.Duration
-	_, err := tcp.Listen(w.rcvr, port, tcp.Config{DelayedAck: true, RecvWindow: recvWindow}, func(ep *tcp.Endpoint) {
-		ep.OnReceive(func(k int) { delivered += int64(k) })
-		ep.OnClosed(func() { doneAt = w.sched.Now() })
-	})
-	if err != nil {
-		return 0, nil, err
-	}
-	senderCfg := w.senderTCPConfig(cc)
-	senderCfg.RecvWindow = recvWindow
-	sender, err := tcp.Dial(w.sender, netsim.Addr{Host: "receiver", Port: port}, senderCfg)
-	if err != nil {
-		return 0, nil, err
-	}
-	sender.OnEstablished(func() {
-		established = w.sched.Now()
-		sender.Send(n)
-		sender.Close()
-	})
-	w.sched.RunUntil(deadline)
-	if delivered < int64(n) || doneAt == 0 {
-		return 0, sender, fmt.Errorf("transfer incomplete: %d of %d bytes by %v", delivered, n, w.sched.Now())
-	}
-	return doneAt - established, sender, nil
-}
-
 // formatTable renders rows of columns with a header, aligned for terminal
 // output.
 func formatTable(header []string, rows [][]string) string {

@@ -5,7 +5,8 @@ import (
 	"time"
 
 	"repro/internal/netsim"
-	"repro/internal/tcp"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
 )
 
 // FairnessConfig parameterises the ensemble-aggressiveness experiment behind
@@ -52,65 +53,70 @@ type FairnessResult struct {
 	FairShare float64
 }
 
-// RunFairness runs the competition in both configurations.
-func RunFairness(cfg FairnessConfig) FairnessResult {
+// FairnessCampaign is the declarative form of the competition: the shared
+// bottleneck as the base spec carrying the ensemble (workload 0) and one
+// independent native competitor (workload 1), with a single string axis
+// flipping the ensemble's congestion controller between cm and native. The
+// string axis is seed-paired, so both configurations see the identical path.
+func FairnessCampaign(cfg FairnessConfig) sweep.Campaign {
 	cfg.fillDefaults()
-	return FairnessResult{
-		Config:                   cfg,
-		CMEnsembleShare:          fairnessRun(cfg, true),
-		IndependentEnsembleShare: fairnessRun(cfg, false),
-		FairShare:                0.5,
+	base := scenario.PointToPoint(scenario.PointToPointParams{
+		Link: netsim.LinkConfig{
+			Bandwidth:    cfg.Path.Bandwidth,
+			Delay:        cfg.Path.OneWayDelay,
+			LossRate:     cfg.Path.LossRate,
+			QueuePackets: cfg.Path.QueuePackets,
+			Seed:         cfg.Path.Seed,
+		},
+		Workloads: []scenario.Workload{
+			{Kind: scenario.KindStream, From: "sender", To: "receiver", Flows: cfg.EnsembleFlows},
+			{Kind: scenario.KindStream, From: "sender", To: "receiver", CC: scenario.CCNative},
+		},
+		Duration: cfg.Duration,
+		Seed:     cfg.Path.Seed,
+	})
+	base.Name = "fairness"
+	return sweep.Campaign{
+		Name: "fairness",
+		Base: &base,
+		Axes: []sweep.Axis{
+			{Param: "workload[0].cc", Strings: []string{scenario.CCCM, scenario.CCNative}},
+		},
+		Metrics: []string{"flows[*].delivered"},
 	}
 }
 
-// fairnessRun starts the ensemble (CM-managed or independent) plus one
-// independent competitor, lets them run for the configured duration and
-// returns the ensemble's share of the delivered bytes.
-func fairnessRun(cfg FairnessConfig, ensembleUsesCM bool) float64 {
-	w := newTestbed(cfg.Path, ensembleUsesCM)
+// RunFairness runs the competition in both configurations through the
+// campaign engine.
+func RunFairness(cfg FairnessConfig) FairnessResult {
+	cfg.fillDefaults()
+	res := FairnessResult{Config: cfg, FairShare: 0.5}
+	cres, err := FairnessCampaign(cfg).Run(scenario.Runner{})
+	if err != nil {
+		return res
+	}
+	res.CMEnsembleShare = ensembleShare(&cres.Points[0])
+	res.IndependentEnsembleShare = ensembleShare(&cres.Points[1])
+	return res
+}
 
-	startFlow := func(port int, cc tcp.CongestionControl) *int64 {
-		delivered := new(int64)
-		_, err := tcp.Listen(w.rcvr, port, tcp.Config{DelayedAck: true, RecvWindow: 1 << 20}, func(ep *tcp.Endpoint) {
-			ep.OnReceive(func(n int) { *delivered += int64(n) })
-		})
-		if err != nil {
-			return delivered
+// ensembleShare computes the ensemble workload's fraction of all delivered
+// bytes from the point's raw result.
+func ensembleShare(p *sweep.PointResult) float64 {
+	if len(p.Results) == 0 {
+		return 0
+	}
+	var ensemble, total int64
+	for _, f := range p.Results[0].Flows {
+		total += f.Delivered
+		if f.Workload == 0 {
+			ensemble += f.Delivered
 		}
-		senderCfg := w.senderTCPConfig(cc)
-		ep, err := tcp.Dial(w.sender, netsim.Addr{Host: "receiver", Port: port}, senderCfg)
-		if err != nil {
-			return delivered
-		}
-		ep.OnEstablished(func() {
-			// Effectively unbounded data: the flow stays backlogged for the
-			// whole experiment.
-			ep.Send(1 << 30)
-		})
-		return delivered
 	}
-
-	ensembleCC := tcp.CCNative
-	if ensembleUsesCM {
-		ensembleCC = tcp.CCCM
-	}
-	ensemble := make([]*int64, cfg.EnsembleFlows)
-	for i := range ensemble {
-		ensemble[i] = startFlow(6000+i, ensembleCC)
-	}
-	competitor := startFlow(7000, tcp.CCNative)
-
-	w.sched.RunUntil(cfg.Duration)
-
-	var ensembleBytes int64
-	for _, d := range ensemble {
-		ensembleBytes += *d
-	}
-	total := ensembleBytes + *competitor
 	if total == 0 {
 		return 0
 	}
-	return float64(ensembleBytes) / float64(total)
+	return float64(ensemble) / float64(total)
 }
 
 // Table renders the fairness comparison.

@@ -6,7 +6,8 @@ import (
 
 	"repro/internal/apicost"
 	"repro/internal/netsim"
-	"repro/internal/tcp"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
 )
 
 // Fig4Config parameterises the long-transfer throughput comparison of
@@ -48,14 +49,57 @@ type Fig4Result struct {
 	Points []Fig4Point
 }
 
-// RunFig4 executes the Figure 4 sweep.
+// Fig4Campaign is the declarative form of the Figure 4 sweep: the 100 Mbps
+// testbed LAN as the base spec, a seed-paired string axis over the
+// congestion controller and a list axis over the transfer size. The paper's
+// ttcp runs used the era's default socket buffers (64 KB); the flow is
+// receiver-window-limited on the LAN, which is what lets both stacks
+// saturate the link with no queue-overflow losses.
+func Fig4Campaign(cfg Fig4Config) sweep.Campaign {
+	cfg.fillDefaults()
+	lan := testbedLAN()
+	base := scenario.PointToPoint(scenario.PointToPointParams{
+		Link: netsim.LinkConfig{
+			Bandwidth:    lan.Bandwidth,
+			Delay:        lan.OneWayDelay,
+			QueuePackets: lan.QueuePackets,
+			Seed:         lan.Seed,
+		},
+		Workloads: []scenario.Workload{{
+			Kind: scenario.KindBulk, From: "sender", To: "receiver",
+			RecvWindow: 64 * 1024,
+		}},
+		Duration: cfg.Deadline,
+		Seed:     lan.Seed,
+	})
+	base.Name = "fig4"
+	sizes := make([]float64, len(cfg.BufferCounts))
+	for i, buffers := range cfg.BufferCounts {
+		sizes[i] = float64(buffers * cfg.BufferSize)
+	}
+	return sweep.Campaign{
+		Name: "fig4",
+		Base: &base,
+		Axes: []sweep.Axis{
+			{Param: "workload[0].cc", Strings: []string{scenario.CCCM, scenario.CCNative}},
+			{Param: "workload[0].bytes", Values: sizes},
+		},
+		Metrics: []string{"flows[0].throughput_kbps", "flows[0].completed"},
+	}
+}
+
+// RunFig4 executes the Figure 4 sweep through the campaign engine.
 func RunFig4(cfg Fig4Config) Fig4Result {
 	cfg.fillDefaults()
 	res := Fig4Result{Config: cfg}
-	for _, buffers := range cfg.BufferCounts {
-		bytes := buffers * cfg.BufferSize
-		cmKBps := fig4Run(tcp.CCCM, bytes, cfg.Deadline)
-		linuxKBps := fig4Run(tcp.CCNative, bytes, cfg.Deadline)
+	cres, err := Fig4Campaign(cfg).Run(scenario.Runner{})
+	if err != nil {
+		return res
+	}
+	n := len(cfg.BufferCounts)
+	for i, buffers := range cfg.BufferCounts {
+		cmKBps := fig4Throughput(&cres.Points[i])
+		linuxKBps := fig4Throughput(&cres.Points[n+i])
 		diff := 0.0
 		if linuxKBps > 0 {
 			diff = 100 * (linuxKBps - cmKBps) / linuxKBps
@@ -67,16 +111,18 @@ func RunFig4(cfg Fig4Config) Fig4Result {
 	return res
 }
 
-func fig4Run(cc tcp.CongestionControl, bytes int, deadline time.Duration) float64 {
-	w := newTestbed(testbedLAN(), cc == tcp.CCCM)
-	// The paper's ttcp runs used the era's default socket buffers (64 KB);
-	// the flow is receiver-window-limited on the LAN, which is what lets
-	// both stacks saturate the link with no queue-overflow losses.
-	elapsed, _, err := w.bulkTransfer(cc, bytes, 5002, deadline, 64*1024)
-	if err != nil || elapsed <= 0 {
+// fig4Throughput reads the completed transfer's throughput from a point's
+// raw result; a transfer that missed the deadline reports 0, as the original
+// runner did.
+func fig4Throughput(p *sweep.PointResult) float64 {
+	if len(p.Results) == 0 {
 		return 0
 	}
-	return float64(bytes) / elapsed.Seconds() / 1024
+	f := p.Results[0].Flows[0]
+	if !f.Completed {
+		return 0
+	}
+	return f.ThroughputKBps
 }
 
 // Table renders Figure 4.

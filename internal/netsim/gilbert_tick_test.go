@@ -1,0 +1,139 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// tickGE is a time-driven model whose state flips are frequent enough to
+// count: 10 ms ticks, symmetric 30% transition probability, hard-dropping
+// Bad state.
+func tickGE() *GilbertElliott {
+	return &GilbertElliott{PGoodBad: 0.3, PBadGood: 0.3, LossBad: 1, Tick: 10 * time.Millisecond}
+}
+
+// TestGETickTransitionsWithoutTraffic: a time-driven model advances on the
+// clock alone — the defining difference from the packet-driven mode, whose
+// process is frozen while no packets are offered.
+func TestGETickTransitionsWithoutTraffic(t *testing.T) {
+	s := simtime.NewScheduler()
+	l := NewLink(s, LinkConfig{Bandwidth: 10 * Mbps, Gilbert: tickGE(), Seed: 3, QueuePackets: 10}, &collector{})
+	s.RunUntil(10 * time.Second)
+	if got := l.Stats().GETransitions; got < 100 {
+		t.Fatalf("time-driven model made %d transitions in 10 s of silence, want ~300", got)
+	}
+
+	// Packet-driven control: no arrivals, no transitions.
+	s2 := simtime.NewScheduler()
+	pd := &GilbertElliott{PGoodBad: 0.3, PBadGood: 0.3, LossBad: 1}
+	l2 := NewLink(s2, LinkConfig{Bandwidth: 10 * Mbps, Gilbert: pd, Seed: 3, QueuePackets: 10}, &collector{})
+	s2.RunUntil(10 * time.Second)
+	if got := l2.Stats().GETransitions; got != 0 {
+		t.Fatalf("packet-driven model transitioned %d times without traffic", got)
+	}
+}
+
+// TestGETickBurstsDecoupleFromOfferedLoad: with a clock-driven process the
+// number of state transitions over a fixed virtual time is set by the clock,
+// not by how many packets the link carries — a low-rate flow sees the same
+// fade timing as a heavy one. Under the packet-driven model the same two
+// loads differ by the load ratio.
+func TestGETickBurstsDecoupleFromOfferedLoad(t *testing.T) {
+	run := func(g *GilbertElliott, interval time.Duration) LinkStats {
+		s := simtime.NewScheduler()
+		l := NewLink(s, LinkConfig{Bandwidth: 100 * Mbps, Gilbert: g, Seed: 17, QueuePackets: 1000}, &collector{})
+		for at := interval; at <= 10*time.Second; at += interval {
+			s.At(at, func() { l.Send(mkpkt(1000)) })
+		}
+		s.RunUntil(10 * time.Second)
+		return l.Stats()
+	}
+
+	// Time-driven: 100 pkt/s vs 10 pkt/s. The tick chain draws from its own
+	// RNG, so the fade schedule is not merely similar across loads — it is
+	// the same schedule, transition for transition.
+	heavy := run(tickGE(), 10*time.Millisecond)
+	light := run(tickGE(), 100*time.Millisecond)
+	if heavy.GETransitions == 0 {
+		t.Fatal("time-driven model made no transitions")
+	}
+	if heavy.GETransitions != light.GETransitions {
+		t.Fatalf("time-driven fade schedule depends on offered load: heavy=%d light=%d",
+			heavy.GETransitions, light.GETransitions)
+	}
+
+	// Packet-driven control: the same comparison scales with offered load.
+	pd := func() *GilbertElliott { return &GilbertElliott{PGoodBad: 0.3, PBadGood: 0.3, LossBad: 1} }
+	heavyPD := run(pd(), 10*time.Millisecond)
+	lightPD := run(pd(), 100*time.Millisecond)
+	if heavyPD.GETransitions < 4*lightPD.GETransitions {
+		t.Fatalf("packet-driven transitions should scale with load: heavy=%d light=%d",
+			heavyPD.GETransitions, lightPD.GETransitions)
+	}
+
+	// The time-driven model still drops in the Bad state.
+	if heavy.BurstDrops == 0 {
+		t.Fatal("time-driven model produced no burst drops")
+	}
+	if heavy.RandomDrops != heavy.BurstDrops+heavy.BernoulliDrops {
+		t.Fatalf("drop split inconsistent: %+v", heavy)
+	}
+}
+
+// TestGETickStopsOnRemovalAndSurvivesReplacement: removing the model stops
+// the transition clock; installing a replacement restarts it cleanly (no
+// double-driving from the stale chain).
+func TestGETickStopsOnRemovalAndSurvivesReplacement(t *testing.T) {
+	s := simtime.NewScheduler()
+	l := NewLink(s, LinkConfig{Bandwidth: 10 * Mbps, Gilbert: tickGE(), Seed: 3, QueuePackets: 10}, &collector{})
+	s.RunUntil(2 * time.Second)
+	mid := l.Stats().GETransitions
+	if mid == 0 {
+		t.Fatal("no transitions before removal")
+	}
+	l.SetGilbert(nil)
+	s.RunUntil(4 * time.Second)
+	if got := l.Stats().GETransitions; got != mid {
+		t.Fatalf("transitions after removal: %d -> %d", mid, got)
+	}
+	// Replacement restarts the clock at the new cadence.
+	g := tickGE()
+	g.Tick = 5 * time.Millisecond
+	l.SetGilbert(g)
+	s.RunUntil(6 * time.Second)
+	after := l.Stats().GETransitions
+	if after <= mid {
+		t.Fatal("replacement model did not transition")
+	}
+	// Installing over a live time-driven model must not leave two chains
+	// running: transitions per second stay in line with one 5 ms clock at
+	// 30% flip probability (~60/s), not two.
+	l.SetGilbert(g)
+	before := l.Stats().GETransitions
+	s.RunUntil(16 * time.Second)
+	perSec := float64(l.Stats().GETransitions-before) / 10
+	if perSec > 90 {
+		t.Fatalf("transition rate %v/s suggests a duplicated tick chain", perSec)
+	}
+}
+
+// TestGETickConfigRoundTrip: the tick survives Config snapshots and the
+// withDefaults normalisation.
+func TestGETickConfigRoundTrip(t *testing.T) {
+	s := simtime.NewScheduler()
+	g := &GilbertElliott{PGoodBad: 0.1, PBadGood: 0.2, Tick: 7 * time.Millisecond}
+	l := NewLink(s, LinkConfig{Bandwidth: 10 * Mbps, Gilbert: g, QueuePackets: 10}, &collector{})
+	cfg := l.Config()
+	if cfg.Gilbert == nil || cfg.Gilbert.Tick != 7*time.Millisecond {
+		t.Fatalf("config snapshot lost the tick: %+v", cfg.Gilbert)
+	}
+	if cfg.Gilbert.LossBad != 1 {
+		t.Fatalf("withDefaults not applied: %+v", cfg.Gilbert)
+	}
+	bad := &GilbertElliott{PGoodBad: 0.1, PBadGood: 0.2, Tick: -time.Second}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative tick must fail validation")
+	}
+}

@@ -47,38 +47,38 @@ func (b Bandwidth) TransmitTime(n int) time.Duration {
 // equivalent of a Dummynet pipe on the paper's testbed.
 type LinkConfig struct {
 	// Name is used in diagnostics and statistics.
-	Name string
+	Name string `json:"name,omitempty"`
 	// Bandwidth is the serialisation rate. Zero means infinitely fast.
-	Bandwidth Bandwidth
+	Bandwidth Bandwidth `json:"bandwidth,omitempty"`
 	// Delay is the one-way propagation delay added after serialisation.
-	Delay time.Duration
+	Delay time.Duration `json:"delay,omitempty"`
 	// QueuePackets / QueueBytes bound the drop-tail buffer in front of the
 	// link. If both are zero a default of 100 packets is used.
-	QueuePackets int
-	QueueBytes   int
+	QueuePackets int `json:"queue_packets,omitempty"`
+	QueueBytes   int `json:"queue_bytes,omitempty"`
 	// LossRate is an independent Bernoulli drop probability applied to each
 	// packet before queueing — the random loss knob used for Figure 3.
-	LossRate float64
+	LossRate float64 `json:"loss_rate,omitempty"`
 	// ReorderRate is the probability that a packet is held back and
 	// delivered after an extra ReorderDelay, arriving behind packets sent
 	// after it. Best-effort IP may reorder; the transports must cope.
-	ReorderRate float64
+	ReorderRate float64 `json:"reorder_rate,omitempty"`
 	// ReorderDelay is the extra delay applied to reordered packets
 	// (default: four packet transmission times at the link rate).
-	ReorderDelay time.Duration
+	ReorderDelay time.Duration `json:"reorder_delay,omitempty"`
 	// DuplicateRate is the probability that a delivered packet is delivered
 	// twice, modelling duplication in the network.
-	DuplicateRate float64
+	DuplicateRate float64 `json:"duplicate_rate,omitempty"`
 	// ECNThresholdPackets enables CE marking of ECN-capable packets when the
 	// queue depth reaches the threshold.
-	ECNThresholdPackets int
+	ECNThresholdPackets int `json:"ecn_threshold_packets,omitempty"`
 	// Gilbert enables the two-state bursty loss model alongside the Bernoulli
 	// LossRate knob. It advances on every offered packet (it is sampled
 	// before the Bernoulli draw). Nil disables it.
-	Gilbert *GilbertElliott
+	Gilbert *GilbertElliott `json:"gilbert,omitempty"`
 	// Seed seeds the link's private random source so loss patterns are
 	// reproducible. A zero seed uses 1.
-	Seed int64
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // LinkStats are cumulative counters for a link.
@@ -129,9 +129,15 @@ type Link struct {
 	rng   *rand.Rand
 
 	// gilbert is the installed bursty-loss model (nil = disabled); geBad is
-	// its current state.
-	gilbert *GilbertElliott
-	geBad   bool
+	// its current state. geTickGen numbers time-driven installations so a
+	// replaced model's pending tick chain expires instead of double-driving
+	// the state, and geTickRNG is the tick chain's private random source,
+	// split from the packet RNG so traffic cannot shift the fade schedule
+	// (see armGETick).
+	gilbert   *GilbertElliott
+	geBad     bool
+	geTickGen uint64
+	geTickRNG *rand.Rand
 
 	busy bool
 	down bool
@@ -190,6 +196,9 @@ func NewLink(sched *simtime.Scheduler, cfg LinkConfig, dst Receiver) *Link {
 	if cfg.Gilbert != nil {
 		g := cfg.Gilbert.withDefaults()
 		l.gilbert = &g
+		if g.Tick > 0 {
+			l.armGETick()
+		}
 	}
 	l.txDone = func(x any) {
 		l.deliver(x.(*Packet))
@@ -250,15 +259,20 @@ func (l *Link) SetDelay(d time.Duration) { l.cfg.Delay = d }
 func (l *Link) SetLossRate(p float64) { l.cfg.LossRate = p }
 
 // SetGilbert installs (or, with nil, removes) the bursty loss model. The model
-// starts in the Good state; replacing a model resets its state.
+// starts in the Good state; replacing a model resets its state. A model with
+// Tick > 0 is time-driven: its transition clock starts (or restarts) here.
 func (l *Link) SetGilbert(g *GilbertElliott) {
 	l.geBad = false
+	l.geTickGen++
 	if g == nil {
 		l.gilbert = nil
 		return
 	}
 	ng := g.withDefaults()
 	l.gilbert = &ng
+	if ng.Tick > 0 {
+		l.armGETick()
+	}
 }
 
 // SetDown takes the link down (true) or brings it back up (false). While down,

@@ -53,6 +53,17 @@ func Build(spec Spec) (*Sim, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	// Stochastic generators expand into ordinary deterministic events before
+	// anything looks at the timeline: the shard planner's lifetime-minimum
+	// delays, the sharded runner's barrier schedule and the Timeline all see
+	// one merged, time-sorted event list.
+	if len(spec.Generators) > 0 {
+		evs, err := expandGenerators(&spec)
+		if err != nil {
+			return nil, err
+		}
+		spec.Events = evs
+	}
 	sim := &Sim{Spec: spec, cms: make(map[string]*cm.CM)}
 
 	// Node order is the first mention in Links; it is needed up front because
@@ -193,6 +204,51 @@ func Build(spec Spec) (*Sim, error) {
 	}
 	return sim, nil
 }
+
+// expandGenerators merges the spec's declared events with the expansion of
+// every generator, filling owner-level defaults first: a zero generator seed
+// derives from the spec seed and the generator's position, End defaults to
+// the run duration, and a bandwidth walk starting rate defaults to the target
+// link's configured bandwidth. The merged list is stably sorted by time so
+// declaration order equals firing order — the property the sharded runner's
+// Advance relies on — and re-validated, since expansion happens after
+// Spec.Validate.
+func expandGenerators(spec *Spec) ([]dynamics.Event, error) {
+	combined := append([]dynamics.Event(nil), spec.Events...)
+	for i, g := range spec.Generators {
+		if g.Seed == 0 {
+			g.Seed = spec.Seed + int64(i+1)*subSeedStride
+		}
+		if g.End <= 0 || g.End > spec.Duration {
+			g.End = spec.Duration
+		}
+		if g.Kind == dynamics.GenBandwidthWalk && g.Initial == 0 {
+			g.Initial = spec.Links[g.Link].Bandwidth
+			if g.Initial <= 0 {
+				// An unset link bandwidth means "infinitely fast"; a walk on
+				// it has no starting rate and would silently expand to no
+				// events — reject rather than run a churnless scenario.
+				return nil, fmt.Errorf("scenario %q: generator %d: bandwidth walk on link %d needs an initial rate (the link has none)",
+					spec.Name, i, g.Link)
+			}
+		}
+		combined = append(combined, g.Expand()...)
+	}
+	sort.SliceStable(combined, func(i, j int) bool { return combined[i].At < combined[j].At })
+	for i, ev := range combined {
+		if err := ev.Validate(len(spec.Links)); err != nil {
+			return nil, fmt.Errorf("scenario %q: expanded event %d: %w", spec.Name, i, err)
+		}
+	}
+	return combined, nil
+}
+
+// subSeedStride spaces the derived sub-seeds of a spec's stochastic
+// consumers (generators, web-mix plans) along the seed line. It is chosen
+// coprime to — and far larger than — the sweep engine's per-point stride
+// (1e6-ish), so sub-stream k of sweep point p can never alias sub-stream
+// k-1 of point p+1: adjacent sweep points draw fully independent churn.
+const subSeedStride = 2_654_435_761 // 2^32 / golden ratio, odd
 
 // clockFor returns the scheduler owning the named host: the single scheduler
 // of a serial build, or the host's shard scheduler of a sharded one.

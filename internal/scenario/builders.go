@@ -544,6 +544,59 @@ func DumbbellGrid(p GridParams) Spec {
 	return spec
 }
 
+// WebMixParams parameterises the background web-mix scenario.
+type WebMixParams struct {
+	// Requests is the total number of web requests in the mix (default 48).
+	Requests int
+	// RatePerSec is the mean Poisson arrival rate (default 12 req/s).
+	RatePerSec float64
+	// MeanBytes is the mean response size (default 12 KB).
+	MeanBytes int
+	// CC selects the mix's congestion controller (default CM, which makes
+	// the mix one shared macroflow — the paper's ensemble of short flows).
+	CC string
+	// Bottleneck configures the shared link (Dumbbell defaults apply).
+	Bottleneck netsim.LinkConfig
+	Duration   time.Duration
+	Seed       int64
+}
+
+// WebMix builds a dumbbell whose first sender runs a web-like request mix —
+// many short Poisson-arrival request/response flows — against a long-lived
+// native TCP stream from the second sender. It is the "background web-like
+// request mix" workload of the roadmap: with CC = cm every short request
+// joins the sender's macroflow to d0 and inherits its congestion state
+// instead of slow-starting from scratch.
+func WebMix(p WebMixParams) Spec {
+	if p.Requests <= 0 {
+		p.Requests = 48
+	}
+	if p.RatePerSec <= 0 {
+		p.RatePerSec = 12
+	}
+	if p.MeanBytes <= 0 {
+		p.MeanBytes = 12 << 10
+	}
+	if p.CC == "" {
+		p.CC = CCCM
+	}
+	spec := Dumbbell(DumbbellParams{
+		Senders: 2, Receivers: 2,
+		Bottleneck: p.Bottleneck,
+		Duration:   p.Duration,
+		Seed:       p.Seed,
+	})
+	spec.Name = "webmix"
+	spec.Description = fmt.Sprintf("web-like request mix (%d Poisson requests at %.3g/s, mean %d B) vs one long native stream",
+		p.Requests, p.RatePerSec, p.MeanBytes)
+	spec.Workloads = []Workload{
+		{Kind: KindWebMix, From: sname(0), To: dname(0),
+			Flows: p.Requests, Rate: p.RatePerSec, Bytes: p.MeanBytes, CC: p.CC},
+		{Kind: KindStream, From: sname(1), To: dname(1), CC: CCNative},
+	}
+	return spec
+}
+
 // PointToPointParams parameterises the two-host topology every experiment in
 // the paper's evaluation uses.
 type PointToPointParams struct {

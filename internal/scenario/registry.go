@@ -81,4 +81,7 @@ func init() {
 	Register("grid", func() Spec {
 		return DumbbellGrid(GridParams{})
 	})
+	Register("webmix", func() Spec {
+		return WebMix(WebMixParams{})
+	})
 }

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"repro/internal/app"
@@ -147,6 +148,13 @@ func (s *Sim) startWorkloads() ([]*flowDriver, error) {
 	var drivers []*flowDriver
 	for wi := range s.Spec.Workloads {
 		w := &s.Spec.Workloads[wi]
+		// A web mix pre-samples every request's arrival time and size with a
+		// seeded RNG at start time, so the plan is a pure function of the
+		// spec — identical across serial, parallel and sharded execution.
+		var web *webMixPlan
+		if w.Kind == KindWebMix {
+			web = planWebMix(s.Spec.Seed, wi, w)
+		}
 		for fi := 0; fi < w.Flows; fi++ {
 			port := w.Port + fi
 			d := &flowDriver{
@@ -155,8 +163,12 @@ func (s *Sim) startWorkloads() ([]*flowDriver, error) {
 					From: w.From, To: w.To, Port: port, CC: w.CC,
 				},
 			}
-			if w.Kind == KindBulk {
-				d.wantBytes = int64(w.Bytes)
+			flowBytes, flowStart := w.Bytes, w.Start
+			if web != nil {
+				flowBytes, flowStart = web.bytes[fi], web.start[fi]
+			}
+			if w.Kind == KindBulk || w.Kind == KindWebMix {
+				d.wantBytes = int64(flowBytes)
 			}
 			drivers = append(drivers, d)
 
@@ -192,7 +204,7 @@ func (s *Sim) startWorkloads() ([]*flowDriver, error) {
 			} else {
 				cfg.CongestionControl = tcp.CCNative
 			}
-			bytes, kind := w.Bytes, w.Kind
+			bytes, kind := flowBytes, w.Kind
 			dial := func() error {
 				ep, err := tcp.Dial(s.net.Host(w.From), netsim.Addr{Host: w.To, Port: port}, cfg)
 				if err != nil {
@@ -214,16 +226,47 @@ func (s *Sim) startWorkloads() ([]*flowDriver, error) {
 				})
 				return nil
 			}
-			if w.Start > 0 {
+			if flowStart > 0 {
 				// The dial happens mid-run; a failure is recorded on the
 				// flow's result instead of aborting the whole scenario.
-				fromClock.At(w.Start, func() { _ = dial() })
+				fromClock.At(flowStart, func() { _ = dial() })
 			} else if err := dial(); err != nil {
 				return nil, fmt.Errorf("scenario %q: workload %d flow %d: %w", s.Spec.Name, wi, fi, err)
 			}
 		}
 	}
 	return drivers, nil
+}
+
+// webMixPlan holds the pre-sampled arrivals and sizes of one KindWebMix
+// workload: request fi dials at start[fi] and transfers bytes[fi].
+type webMixPlan struct {
+	start []time.Duration
+	bytes []int
+}
+
+// planWebMix samples the workload's Poisson arrival process and per-request
+// sizes. Arrivals are cumulative Exp(1/Rate) interarrival gaps offset by the
+// workload's Start; sizes are exponential around the mean Bytes, floored at
+// 512 bytes so every request carries at least a small response. The RNG seed
+// derives deterministically from the spec seed and the workload's position.
+func planWebMix(specSeed int64, wi int, w *Workload) *webMixPlan {
+	rng := rand.New(rand.NewSource(specSeed + int64(wi+1)*subSeedStride + 0x9e37))
+	p := &webMixPlan{
+		start: make([]time.Duration, w.Flows),
+		bytes: make([]int, w.Flows),
+	}
+	t := w.Start
+	for i := 0; i < w.Flows; i++ {
+		t += time.Duration(rng.ExpFloat64() / w.Rate * float64(time.Second))
+		p.start[i] = t
+		size := int(rng.ExpFloat64() * float64(w.Bytes))
+		if size < 512 {
+			size = 512
+		}
+		p.bytes[i] = size
+	}
+	return p
 }
 
 // startUDPFlow attaches one layered UDP streaming application (§3.4/§3.5):

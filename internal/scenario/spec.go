@@ -45,6 +45,13 @@ const (
 	// (§3.5): every packet waits for a cmapp_send grant and the layer is
 	// re-chosen from cm_query inside the callback.
 	KindUDPALF = "udp-alf"
+	// KindWebMix is a background web-like request mix: Flows short TCP
+	// request/response transfers whose arrival times form a seeded Poisson
+	// process of rate Rate and whose sizes are drawn (seeded, exponential)
+	// around a mean of Bytes. Each request is an ordinary bulk flow on its
+	// own port; with CC = cm the mix becomes the paper's ensemble of short
+	// flows sharing one macroflow.
+	KindWebMix = "webmix"
 )
 
 // udpKind reports whether the workload kind is one of the layered UDP
@@ -84,6 +91,11 @@ type Workload struct {
 	Start time.Duration `json:"start,omitempty"`
 	// RecvWindow is the receiver's advertised window (default 1 MB).
 	RecvWindow int `json:"recv_window,omitempty"`
+	// Rate is the mean request arrival rate of a KindWebMix workload in
+	// requests per second (default 10). For a web mix, Flows is the total
+	// number of requests, Bytes the mean response size, and Start shifts the
+	// whole arrival process into the run.
+	Rate float64 `json:"rate,omitempty"`
 }
 
 // Spec is a complete, self-contained description of one simulation.
@@ -105,6 +117,11 @@ type Spec struct {
 	// switches, applied mid-run by the dynamics subsystem. Events with
 	// At <= 0 are applied at Build, before any traffic.
 	Events []dynamics.Event `json:"events,omitempty"`
+	// Generators are seeded stochastic event sources (Poisson link flaps,
+	// Markov bandwidth walks). Build expands each into ordinary deterministic
+	// Events merged with the declared ones, so generated churn inherits the
+	// timeline's serial/parallel/sharded byte-identity.
+	Generators []dynamics.Generator `json:"generators,omitempty"`
 	// Duration is how much virtual time to simulate (default 30 s).
 	Duration time.Duration `json:"duration,omitempty"`
 	// Seed derives per-link seeds for links that leave Seed zero (default 1).
@@ -153,6 +170,19 @@ func (s *Spec) fillDefaults() {
 		w := &s.Workloads[i]
 		if w.Kind == "" {
 			w.Kind = KindBulk
+		}
+		if w.Kind == KindWebMix {
+			if w.Flows <= 0 {
+				w.Flows = 32
+			}
+			// Only a zero rate defaults: a negative one is a spec error that
+			// Validate must still see.
+			if w.Rate == 0 {
+				w.Rate = 10
+			}
+			if w.Bytes <= 0 {
+				w.Bytes = 12 << 10
+			}
 		}
 		if w.Flows <= 0 {
 			w.Flows = 1
@@ -233,7 +263,7 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("scenario %q: workload %d terminates at a router", s.Name, i)
 		}
 		switch w.Kind {
-		case "", KindBulk, KindStream, KindUDPRate, KindUDPALF:
+		case "", KindBulk, KindStream, KindUDPRate, KindUDPALF, KindWebMix:
 		default:
 			return fmt.Errorf("scenario %q: workload %d kind %q unknown", s.Name, i, w.Kind)
 		}
@@ -245,10 +275,18 @@ func (s *Spec) Validate() error {
 		if udpKind(w.Kind) && w.CC == CCNative {
 			return fmt.Errorf("scenario %q: workload %d kind %q is a CM client; cc %q is invalid", s.Name, i, w.Kind, w.CC)
 		}
+		if w.Rate < 0 {
+			return fmt.Errorf("scenario %q: workload %d rate %v negative", s.Name, i, w.Rate)
+		}
 	}
 	for i, ev := range s.Events {
 		if err := ev.Validate(len(s.Links)); err != nil {
 			return fmt.Errorf("scenario %q: event %d: %w", s.Name, i, err)
+		}
+	}
+	for i, g := range s.Generators {
+		if err := g.Validate(len(s.Links)); err != nil {
+			return fmt.Errorf("scenario %q: generator %d: %w", s.Name, i, err)
 		}
 	}
 	if s.Shards < 0 {

@@ -1,0 +1,178 @@
+package sweep
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// Flatten projects every numeric field of a scenario.Result into a flat
+// key->float64 map, so the aggregation layer can summarise *any* result field
+// across seed replicates without per-field plumbing. Keys mirror the result's
+// JSON shape: struct fields use their json tag name (Go name when untagged,
+// as with the embedded stats structs), slices index as name[i], and anonymous
+// embedded structs inline, e.g.
+//
+//	flows[0].throughput_kbps   links[1].QueueDrops   cms[0].GrantsIssued
+//
+// Numeric conversion: integers and floats as-is, bools as 0/1,
+// time.Duration as seconds. Strings are skipped.
+//
+// On top of the raw projection, Flatten adds derived whole-run totals under
+// the reserved "total." prefix (the default campaign metrics):
+//
+//	total.delivered_bytes   total.goodput_kbps   total.completed
+//	total.flows             total.retransmissions  total.timeouts
+//	total.queue_drops       total.bernoulli_drops  total.burst_drops
+//	total.down_drops        total.forwarded_packets
+func Flatten(res *scenario.Result) map[string]float64 {
+	out := make(map[string]float64)
+	flattenValue(reflect.ValueOf(res).Elem(), "", out)
+
+	var delivered, rtx, timeouts int64
+	var completed int
+	for _, f := range res.Flows {
+		delivered += f.Delivered
+		rtx += f.Retransmissions
+		timeouts += f.Timeouts
+		if f.Completed {
+			completed++
+		}
+	}
+	var queueDrops, bernoulli, burst, down int
+	for _, l := range res.Links {
+		queueDrops += l.QueueDrops
+		bernoulli += l.BernoulliDrops
+		burst += l.BurstDrops
+		down += l.DownDrops
+	}
+	var forwarded int64
+	for _, h := range res.Hosts {
+		forwarded += int64(h.ForwardedPackets)
+	}
+	out["total.delivered_bytes"] = float64(delivered)
+	if secs := res.EndTime.Seconds(); secs > 0 {
+		out["total.goodput_kbps"] = float64(delivered) / secs / 1024
+	} else {
+		out["total.goodput_kbps"] = 0
+	}
+	out["total.completed"] = float64(completed)
+	out["total.flows"] = float64(len(res.Flows))
+	out["total.retransmissions"] = float64(rtx)
+	out["total.timeouts"] = float64(timeouts)
+	out["total.queue_drops"] = float64(queueDrops)
+	out["total.bernoulli_drops"] = float64(bernoulli)
+	out["total.burst_drops"] = float64(burst)
+	out["total.down_drops"] = float64(down)
+	out["total.forwarded_packets"] = float64(forwarded)
+	return out
+}
+
+var durationType = reflect.TypeOf(time.Duration(0))
+
+func flattenValue(v reflect.Value, prefix string, out map[string]float64) {
+	switch v.Kind() {
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if f.PkgPath != "" { // unexported
+				continue
+			}
+			name := f.Name
+			if tag, ok := f.Tag.Lookup("json"); ok {
+				tagName, _, _ := strings.Cut(tag, ",")
+				if tagName == "-" {
+					continue
+				}
+				if tagName != "" {
+					name = tagName
+				}
+			}
+			child := prefix
+			// An untagged anonymous struct inlines, exactly as encoding/json
+			// would inline it.
+			if !(f.Anonymous && f.Type.Kind() == reflect.Struct && f.Tag.Get("json") == "") {
+				if child != "" {
+					child += "."
+				}
+				child += name
+			}
+			flattenValue(v.Field(i), child, out)
+		}
+	case reflect.Slice, reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			flattenValue(v.Index(i), fmt.Sprintf("%s[%d]", prefix, i), out)
+		}
+	case reflect.Pointer:
+		if !v.IsNil() {
+			flattenValue(v.Elem(), prefix, out)
+		}
+	case reflect.Bool:
+		if v.Bool() {
+			out[prefix] = 1
+		} else {
+			out[prefix] = 0
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		if v.Type() == durationType {
+			out[prefix] = time.Duration(v.Int()).Seconds()
+		} else {
+			out[prefix] = float64(v.Int())
+		}
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		out[prefix] = float64(v.Uint())
+	case reflect.Float32, reflect.Float64:
+		out[prefix] = v.Float()
+	}
+}
+
+// selectKeys returns, sorted, every key present in any of the flattened maps
+// that matches at least one pattern. Patterns are literal keys with *
+// wildcards matching any run of characters ("flows[*].delivered",
+// "total.*").
+func selectKeys(flats []map[string]float64, patterns []string) []string {
+	seen := make(map[string]bool)
+	var keys []string
+	for _, f := range flats {
+		for k := range f {
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			for _, p := range patterns {
+				if globMatch(p, k) {
+					keys = append(keys, k)
+					break
+				}
+			}
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// globMatch matches s against a pattern whose * wildcards span any run of
+// characters (including none).
+func globMatch(pattern, s string) bool {
+	parts := strings.Split(pattern, "*")
+	if len(parts) == 1 {
+		return pattern == s
+	}
+	if !strings.HasPrefix(s, parts[0]) {
+		return false
+	}
+	s = s[len(parts[0]):]
+	for _, mid := range parts[1 : len(parts)-1] {
+		i := strings.Index(s, mid)
+		if i < 0 {
+			return false
+		}
+		s = s[i+len(mid):]
+	}
+	return strings.HasSuffix(s, parts[len(parts)-1])
+}

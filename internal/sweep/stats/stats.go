@@ -1,0 +1,83 @@
+// Package stats is the cross-run aggregation layer of the sweep engine:
+// order statistics and moments over the replicate values of one metric at one
+// sweep point. It is pure arithmetic with no dependencies on the simulator,
+// and every function is deterministic — aggregating the same values in the
+// same order always produces bit-identical output, which is what lets a
+// campaign's CSV be byte-compared across serial and parallel executions.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary describes one metric across the replicates of a sweep point.
+type Summary struct {
+	// N is the number of values aggregated.
+	N int `json:"n"`
+	// Mean and Stddev are the sample mean and the sample (n-1) standard
+	// deviation (zero when N < 2).
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	// P50 and P99 are nearest-rank percentiles (see Percentile).
+	P50 float64 `json:"p50"`
+	P99 float64 `json:"p99"`
+}
+
+// Summarize aggregates the values. It does not modify its argument; an empty
+// slice yields the zero Summary.
+func Summarize(values []float64) Summary {
+	n := len(values)
+	if n == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	mean := sum / float64(n)
+	var stddev float64
+	if n > 1 {
+		var ss float64
+		for _, v := range values {
+			d := v - mean
+			ss += d * d
+		}
+		stddev = math.Sqrt(ss / float64(n-1))
+	}
+	return Summary{
+		N:      n,
+		Mean:   mean,
+		Stddev: stddev,
+		Min:    sorted[0],
+		Max:    sorted[n-1],
+		P50:    Percentile(sorted, 0.50),
+		P99:    Percentile(sorted, 0.99),
+	}
+}
+
+// Percentile returns the nearest-rank percentile of ascending-sorted values:
+// the smallest element such that at least q of the distribution is at or
+// below it, i.e. sorted[ceil(q*n)-1]. q is clamped to [0, 1]; an empty slice
+// yields 0.
+func Percentile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}

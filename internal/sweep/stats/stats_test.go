@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func close(a, b float64) bool { return math.Abs(a-b) <= 1e-9*math.Max(1, math.Abs(b)) }
+
+// TestSummarizeUniform pins the exact aggregation of the integers 1..100:
+// every statistic has a closed form, so the test is exact, not approximate.
+func TestSummarizeUniform(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(100 - i) // descending: Summarize must sort
+	}
+	s := Summarize(vals)
+	if s.N != 100 {
+		t.Fatalf("n = %d", s.N)
+	}
+	if s.Mean != 50.5 {
+		t.Fatalf("mean = %v, want 50.5", s.Mean)
+	}
+	// Sample variance of 1..n is n(n+1)/12: 100*101/12 = 841.666...
+	if want := math.Sqrt(100 * 101.0 / 12); !close(s.Stddev, want) {
+		t.Fatalf("stddev = %v, want %v", s.Stddev, want)
+	}
+	if s.Min != 1 || s.Max != 100 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	// Nearest rank: p50 = element ceil(0.5*100) = 50, p99 = element 99.
+	if s.P50 != 50 {
+		t.Fatalf("p50 = %v, want 50", s.P50)
+	}
+	if s.P99 != 99 {
+		t.Fatalf("p99 = %v, want 99", s.P99)
+	}
+}
+
+// TestSummarizeKnownSet checks a small set whose moments are hand-computed.
+func TestSummarizeKnownSet(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	// Sum of squared deviations is 32; sample stddev = sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7); !close(s.Stddev, want) {
+		t.Fatalf("stddev = %v, want %v", s.Stddev, want)
+	}
+	if s.P50 != 4 { // ceil(0.5*8) = 4th element
+		t.Fatalf("p50 = %v, want 4", s.P50)
+	}
+	if s.P99 != 9 { // ceil(0.99*8) = 8th element
+		t.Fatalf("p99 = %v, want 9", s.P99)
+	}
+}
+
+func TestSummarizeDegenerate(t *testing.T) {
+	if s := Summarize(nil); s != (Summary{}) {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{42})
+	want := Summary{N: 1, Mean: 42, Min: 42, Max: 42, P50: 42, P99: 42}
+	if s != want {
+		t.Fatalf("single-value summary = %+v", s)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10}, {0.25, 10}, {0.26, 20}, {0.5, 20}, {0.51, 30}, {0.75, 30}, {0.99, 40}, {1, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.q); got != c.want {
+			t.Fatalf("p%v = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+// TestSummarizeDoesNotMutate guards the aggregation layer's purity: CSV
+// determinism depends on summaries being order-independent of each other.
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	vals := []float64{3, 1, 2}
+	Summarize(vals)
+	if vals[0] != 3 || vals[1] != 1 || vals[2] != 2 {
+		t.Fatalf("input mutated: %v", vals)
+	}
+}

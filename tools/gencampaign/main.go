@@ -1,0 +1,25 @@
+// Command gencampaign regenerates examples/campaigns/fig3.json from the
+// canonical Go definition in internal/experiments, so the checked-in
+// campaign file can never drift from RunFig3.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	camp := experiments.Fig3Campaign(experiments.Fig3Config{})
+	data, err := json.MarshalIndent(camp, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile("examples/campaigns/fig3.json", append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
