@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench perf bench-smoke sweep-smoke
+.PHONY: ci vet build test race bench perf bench-smoke sweep-smoke soak-smoke
 
 ci: vet build race bench
 
@@ -44,3 +44,12 @@ sweep-smoke:
 	$(GO) run ./cmd/cmsim -scenario p2p -parallel 8 -replicates 2 \
 		-sweep "link[0].loss=0,0.01" -sweep "workload[0].flows=1,2" \
 		-csv > SWEEP_SMOKE.csv
+
+# Churn soak: the canned host-fault campaign (CM restarts x notify-drop
+# rates over the churn scenario) with the invariant checker on — any
+# stranded flow, leaked grant or epoch mismatch in any replicate fails the
+# target (see docs/ROBUSTNESS.md). CI uploads CHURN_SOAK.csv next to
+# SWEEP_SMOKE.csv; the CSV bytes are identical whatever -parallel is.
+soak-smoke:
+	$(GO) run ./cmd/cmsim -campaign examples/campaigns/churn-soak.json \
+		-parallel 8 -check-invariants -csv > CHURN_SOAK.csv

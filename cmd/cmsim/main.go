@@ -18,6 +18,7 @@
 //	cmsim -scenario p2p -sweep "link[0].bandwidth=1e6:10e6:4" -csv            # linear axis
 //	cmsim -scenario p2p -sweep "workload[0].flows=log:1:64:7"                 # log axis
 //	cmsim -campaign examples/campaigns/fig3.json -csv                         # campaign file
+//	cmsim -campaign examples/campaigns/churn-soak.json -check-invariants -csv # robustness soak
 //
 // Sweep results aggregate each selected metric across seed replicates
 // (mean/stddev/min/max/p50/p99) and emit as an aligned table, -json, or
@@ -40,6 +41,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/scenario"
 	"repro/internal/sweep"
@@ -64,6 +66,7 @@ func main() {
 		campaign   = flag.String("campaign", "", "run a sweep campaign from this JSON file (see docs/SWEEPS.md)")
 		replicates = flag.Int("replicates", 1, "sweep mode: seed replicates per sweep point")
 		csvOut     = flag.Bool("csv", false, "sweep mode: emit the aggregated results as CSV")
+		checkInv   = flag.Bool("check-invariants", false, "run the faults invariant checker over every result; violations go to stderr and exit nonzero (see docs/ROBUSTNESS.md)")
 
 		bw       = flag.Float64("bw", 10e6, "legacy mode: bottleneck bandwidth in bits/second")
 		rtt      = flag.Duration("rtt", 60*time.Millisecond, "legacy mode: round-trip propagation delay")
@@ -88,7 +91,7 @@ func main() {
 	if *campaign != "" || len(sweeps) > 0 {
 		set := make(map[string]bool)
 		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-		if err := runCampaign(*campaign, sweeps, *names, *replicates, *shards, *parallel, *jsonOut, *csvOut, set); err != nil {
+		if err := runCampaign(*campaign, sweeps, *names, *replicates, *shards, *parallel, *jsonOut, *csvOut, *checkInv, set); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
@@ -140,6 +143,17 @@ func main() {
 			printResult(o)
 		}
 	}
+	if *checkInv {
+		var violations []faults.Violation
+		for _, o := range outcomes {
+			if o.Result != nil {
+				violations = append(violations, faults.Check(o.Result)...)
+			}
+		}
+		if reportViolations(violations) {
+			os.Exit(1)
+		}
+	}
 	for _, o := range outcomes {
 		if o.Err != "" {
 			os.Exit(1)
@@ -147,11 +161,24 @@ func main() {
 	}
 }
 
+// reportViolations prints invariant violations to stderr, returning whether
+// there were any.
+func reportViolations(violations []faults.Violation) bool {
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "invariant violation: %s\n", v)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "%d invariant violation(s)\n", len(violations))
+		return true
+	}
+	return false
+}
+
 // runCampaign executes sweep mode: a campaign loaded from a JSON file, or
 // one assembled from -scenario plus repeated -sweep axes. With -campaign,
 // explicitly passed -replicates/-shards override the file's values; a
 // -scenario alongside -campaign is rejected rather than silently ignored.
-func runCampaign(file string, sweeps []string, names string, replicates, shards, parallel int, jsonOut, csvOut bool, set map[string]bool) error {
+func runCampaign(file string, sweeps []string, names string, replicates, shards, parallel int, jsonOut, csvOut, checkInv bool, set map[string]bool) error {
 	var camp sweep.Campaign
 	switch {
 	case file != "" && len(sweeps) > 0:
@@ -201,6 +228,9 @@ func runCampaign(file string, sweeps []string, names string, replicates, shards,
 		fmt.Printf("%s\n", data)
 	default:
 		fmt.Print(res.Table())
+	}
+	if checkInv && reportViolations(faults.CheckCampaign(res)) {
+		return fmt.Errorf("campaign %s failed invariant checking", camp.Name)
 	}
 	return nil
 }
@@ -297,13 +327,24 @@ func printResult(o scenario.RunOutcome) {
 		fired := "fired"
 		if !ev.Fired {
 			fired = "not fired"
+			if ev.PastEnd {
+				fired = "past end, not fired"
+			}
 		}
 		dir := ev.Direction
 		if dir == "" {
 			dir = "both"
 		}
-		fmt.Printf("  event t=%v %s link=%d dir=%s %s routes-changed=%d\n",
-			ev.At, ev.Kind, ev.Link, dir, fired, ev.RoutesChanged)
+		target := fmt.Sprintf("link=%d dir=%s", ev.Link, dir)
+		if ev.HostEvent() {
+			target = "host=" + ev.Host
+		}
+		extra := ""
+		if ev.FlowsWiped > 0 {
+			extra = fmt.Sprintf(" flows-wiped=%d", ev.FlowsWiped)
+		}
+		fmt.Printf("  event t=%v %s %s %s routes-changed=%d%s\n",
+			ev.At, ev.Kind, target, fired, ev.RoutesChanged, extra)
 	}
 	for _, f := range r.Flows {
 		status := "ok"
@@ -340,5 +381,13 @@ func printResult(o scenario.RunOutcome) {
 	for _, c := range r.CMs {
 		fmt.Printf("  cm %s: %d macroflow(s), %d flows, %d grants, %d updates, %d notifies, %d queries\n",
 			c.Host, c.Macroflows, c.Flows, c.GrantsIssued, c.Updates, c.Notifies, c.Queries)
+		if c.Restarts > 0 || c.StaleFlowCalls > 0 || c.MacroflowResets > 0 {
+			fmt.Printf("    churn: restarts=%d stale-calls=%d macroflow-resets=%d stranded=%d\n",
+				c.Restarts, c.StaleFlowCalls, c.MacroflowResets, c.StrandedFlows)
+		}
+		if c.DroppedSends+c.DelayedSends+c.DroppedUpdates+c.DelayedUpdates > 0 {
+			fmt.Printf("    notify-faults: dropped-sends=%d delayed-sends=%d dropped-updates=%d delayed-updates=%d stale-updates-dropped=%d\n",
+				c.DroppedSends, c.DelayedSends, c.DroppedUpdates, c.DelayedUpdates, c.StaleUpdatesDropped)
+		}
 	}
 }

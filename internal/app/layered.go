@@ -56,6 +56,12 @@ type LayeredConfig struct {
 	PollInterval time.Duration
 	// TraceWindow is the bucketing interval for the rate traces.
 	TraceWindow time.Duration
+	// GrantWatchdog is the ALF-mode stall detector: if no grant arrives for
+	// this long while streaming, the server re-requests. The request/callback
+	// chain ("send, then request again") breaks permanently if one
+	// cmapp_send notification is lost, so a robust ALF client needs its own
+	// timer. Default 1s.
+	GrantWatchdog time.Duration
 }
 
 func (c *LayeredConfig) fillDefaults() {
@@ -82,6 +88,9 @@ func (c *LayeredConfig) fillDefaults() {
 	if c.TraceWindow <= 0 {
 		c.TraceWindow = 500 * time.Millisecond
 	}
+	if c.GrantWatchdog <= 0 {
+		c.GrantWatchdog = time.Second
+	}
 }
 
 // LayeredStats are counters for a layered server.
@@ -92,6 +101,12 @@ type LayeredStats struct {
 	RateCallbacks   int64
 	GrantsReceived  int64
 	FeedbackReports int64
+	// Restarts counts CM restarts the server re-synced from (flow re-opened,
+	// callbacks re-registered). WatchdogFires counts ALF stall recoveries:
+	// grants that never arrived (dropped notification or wiped CM) where the
+	// watchdog re-requested.
+	Restarts      int64
+	WatchdogFires int64
 }
 
 // LayeredServer is the streaming layered audio/video server of §3.4/§3.5. It
@@ -106,11 +121,12 @@ type LayeredServer struct {
 	flow cm.FlowID
 	fb   *SenderFeedback
 
-	layer     int
-	seq       int64
-	running   bool
-	sendTimer simtime.Timer
-	pollTimer simtime.Timer
+	layer         int
+	seq           int64
+	running       bool
+	sendTimer     simtime.Timer
+	pollTimer     simtime.Timer
+	watchdogTimer simtime.Timer
 
 	txRate       *trace.RateEstimator
 	reportedRate *trace.Series
@@ -153,6 +169,8 @@ func NewLayeredServer(h *node.Host, lib *libcm.Lib, dst netsim.Addr, cfg Layered
 	})
 	s.sendTimer = h.Clock().NewTimer(s.onSendTimer)
 	s.pollTimer = h.Clock().NewTimer(s.onPoll)
+	s.watchdogTimer = h.Clock().NewTimer(s.onWatchdog)
+	lib.SetRestartHandler(s.onCMRestart)
 	return s, nil
 }
 
@@ -185,6 +203,7 @@ func (s *LayeredServer) Start() {
 	case ModeALF:
 		s.lib.RegisterSend(s.flow, s.onGrant)
 		s.lib.Request(s.flow)
+		s.watchdogTimer.Reset(s.cfg.GrantWatchdog)
 	case ModeRateCallback:
 		s.lib.Thresh(s.flow, s.cfg.ThreshDown, s.cfg.ThreshUp)
 		s.lib.RegisterUpdate(s.flow, s.onRateCallback)
@@ -202,6 +221,7 @@ func (s *LayeredServer) Stop() {
 	s.running = false
 	s.sendTimer.Stop()
 	s.pollTimer.Stop()
+	s.watchdogTimer.Stop()
 }
 
 // Close stops the server and releases its flow and socket.
@@ -251,12 +271,46 @@ func (s *LayeredServer) onGrant(_ cm.FlowID) {
 		return
 	}
 	s.stats.GrantsReceived++
+	s.watchdogTimer.Reset(s.cfg.GrantWatchdog)
 	if st, ok := s.lib.Query(s.flow); ok {
 		s.pickLayer(st.Rate)
 		s.recordReported(st.Rate)
 	}
 	s.sendPacket()
 	s.lib.Request(s.flow)
+}
+
+// onWatchdog fires when an ALF server has streamed nothing for GrantWatchdog:
+// the outstanding request's grant was lost (dropped notification, CM wipe),
+// so re-request rather than stay silent forever. The extra request is safe —
+// at worst an unexpected grant is declined via cm_notify(0).
+func (s *LayeredServer) onWatchdog() {
+	if !s.running || s.cfg.Mode != ModeALF {
+		return
+	}
+	s.stats.WatchdogFires++
+	s.lib.Request(s.flow)
+	s.watchdogTimer.Reset(s.cfg.GrantWatchdog)
+}
+
+// onCMRestart is the libcm re-sync hook: the CM lost our flow, so open a
+// fresh one and re-register per the current mode. Streaming state (layer,
+// sequence numbers, feedback tracking) survives; congestion state restarts
+// from the initial window.
+func (s *LayeredServer) onCMRestart() {
+	s.stats.Restarts++
+	s.flow = s.lib.Open(netsim.ProtoUDP, s.sock.Local(), s.dst)
+	switch s.cfg.Mode {
+	case ModeALF:
+		s.lib.RegisterSend(s.flow, s.onGrant)
+		if s.running {
+			s.lib.Request(s.flow)
+			s.watchdogTimer.Reset(s.cfg.GrantWatchdog)
+		}
+	case ModeRateCallback:
+		s.lib.Thresh(s.flow, s.cfg.ThreshDown, s.cfg.ThreshUp)
+		s.lib.RegisterUpdate(s.flow, s.onRateCallback)
+	}
 }
 
 // onRateCallback is the rate-callback-mode cmapp_update callback.

@@ -11,6 +11,8 @@ import (
 func (cm *CM) RegisterSend(f FlowID, cb SendCallback) {
 	if fl, ok := cm.flows[f]; ok {
 		fl.sendCB = cb
+	} else {
+		cm.acct.StaleFlowCalls++
 	}
 }
 
@@ -19,6 +21,8 @@ func (cm *CM) RegisterSend(f FlowID, cb SendCallback) {
 func (cm *CM) RegisterUpdate(f FlowID, cb UpdateCallback) {
 	if fl, ok := cm.flows[f]; ok {
 		fl.updateCB = cb
+	} else {
+		cm.acct.StaleFlowCalls++
 	}
 }
 
@@ -26,8 +30,12 @@ func (cm *CM) RegisterUpdate(f FlowID, cb UpdateCallback) {
 // clients keep the default direct dispatcher; libcm installs its own to model
 // the kernel-to-user notification path.
 func (cm *CM) SetDispatcher(f FlowID, d Dispatcher) {
-	if fl, ok := cm.flows[f]; ok && d != nil {
-		fl.dispatcher = d
+	if fl, ok := cm.flows[f]; ok {
+		if d != nil {
+			fl.dispatcher = d
+		}
+	} else {
+		cm.acct.StaleFlowCalls++
 	}
 }
 
@@ -35,8 +43,12 @@ func (cm *CM) SetDispatcher(f FlowID, d Dispatcher) {
 // and for apportioning the advertised per-flow rate). Weights must be
 // positive; invalid weights are ignored.
 func (cm *CM) SetWeight(f FlowID, w float64) {
-	if fl, ok := cm.flows[f]; ok && w > 0 {
-		fl.weight = w
+	if fl, ok := cm.flows[f]; ok {
+		if w > 0 {
+			fl.weight = w
+		}
+	} else {
+		cm.acct.StaleFlowCalls++
 	}
 }
 
@@ -46,6 +58,7 @@ func (cm *CM) SetWeight(f FlowID, w float64) {
 func (cm *CM) Request(f FlowID) {
 	fl, ok := cm.flows[f]
 	if !ok {
+		cm.acct.StaleFlowCalls++
 		return
 	}
 	cm.acct.Requests++
@@ -65,6 +78,7 @@ func (cm *CM) BulkRequest(flows []FlowID) {
 	for _, f := range flows {
 		fl, ok := cm.flows[f]
 		if !ok {
+			cm.acct.StaleFlowCalls++
 			continue
 		}
 		fl.pendingRequests++
@@ -85,6 +99,7 @@ func (cm *CM) BulkRequest(flows []FlowID) {
 func (cm *CM) Notify(f FlowID, nsent int) {
 	fl, ok := cm.flows[f]
 	if !ok {
+		cm.acct.StaleFlowCalls++
 		return
 	}
 	cm.notifyFlow(fl, nsent)
@@ -115,6 +130,7 @@ type UpdateArgs struct {
 func (cm *CM) Update(f FlowID, nsent, nrecd int, mode LossMode, rtt time.Duration) {
 	fl, ok := cm.flows[f]
 	if !ok {
+		cm.acct.StaleFlowCalls++
 		return
 	}
 	cm.acct.Updates++
@@ -133,6 +149,7 @@ func (cm *CM) BulkUpdate(updates []UpdateArgs) {
 	for _, u := range updates {
 		fl, ok := cm.flows[u.Flow]
 		if !ok {
+			cm.acct.StaleFlowCalls++
 			continue
 		}
 		nsent, nrecd := u.Sent, u.Received
@@ -153,6 +170,7 @@ func (cm *CM) BulkUpdate(updates []UpdateArgs) {
 func (cm *CM) Thresh(f FlowID, down, up float64) {
 	fl, ok := cm.flows[f]
 	if !ok {
+		cm.acct.StaleFlowCalls++
 		return
 	}
 	if down > 1 {
@@ -169,6 +187,7 @@ func (cm *CM) Thresh(f FlowID, down, up float64) {
 func (cm *CM) Query(f FlowID) (Status, bool) {
 	fl, ok := cm.flows[f]
 	if !ok {
+		cm.acct.StaleFlowCalls++
 		return Status{}, false
 	}
 	cm.acct.Queries++
@@ -182,6 +201,7 @@ func (cm *CM) Query(f FlowID) (Status, bool) {
 func (cm *CM) SplitFlow(f FlowID) {
 	fl, ok := cm.flows[f]
 	if !ok {
+		cm.acct.StaleFlowCalls++
 		return
 	}
 	if fl.mf.FlowCount() == 1 {
@@ -199,6 +219,12 @@ func (cm *CM) SplitFlow(f FlowID) {
 func (cm *CM) MergeFlows(a, b FlowID) {
 	fa, okA := cm.flows[a]
 	fb, okB := cm.flows[b]
+	if !okA {
+		cm.acct.StaleFlowCalls++
+	}
+	if !okB {
+		cm.acct.StaleFlowCalls++
+	}
 	if !okA || !okB || fa.mf == fb.mf {
 		return
 	}
@@ -221,6 +247,21 @@ type Accounting struct {
 	Queries         int64
 	GrantsIssued    int64
 	UpdateCallbacks int64
+	// GrantsReclaimed counts grants taken back by any path — claim via
+	// cm_notify, departing-flow cleanup, grant timeout, or a state wipe — so
+	// GrantsIssued == GrantsReclaimed + outstanding grants holds at all times
+	// (the grant-conservation invariant the fault-injection soak checks).
+	GrantsReclaimed int64
+	// StaleFlowCalls counts API calls naming a dead or unknown FlowID. They
+	// no-op (the kernel module returns EINVAL), but after a CM restart a
+	// client that fails to re-sync shows up here instead of being invisible.
+	StaleFlowCalls int64
+	// Restarts counts Restart invocations (process-death fault injection);
+	// it equals the current epoch.
+	Restarts int64
+	// MacroflowResets counts macroflows whose congestion state was discarded
+	// by a host-move event.
+	MacroflowResets int64
 }
 
 // Total returns the total number of client-initiated API calls (excluding

@@ -245,6 +245,11 @@ type CM struct {
 	// host's shard). Serial runs leave it nil.
 	owned func() bool
 
+	// epoch counts CM restarts. Clients cache it at attach time and compare
+	// on every call: a mismatch means the CM lost all state since they last
+	// spoke and they must re-open flows and re-register callbacks.
+	epoch int64
+
 	acct Accounting
 }
 
@@ -340,6 +345,7 @@ func (cm *CM) Lookup(key netsim.FlowKey) FlowID {
 func (cm *CM) Close(f FlowID) {
 	fl, ok := cm.flows[f]
 	if !ok {
+		cm.acct.StaleFlowCalls++
 		return
 	}
 	cm.acct.Closes++

@@ -131,6 +131,7 @@ func (m *Macroflow) removeFlow(fl *flowState) {
 				m.grantedBytes -= m.grants[i].bytes
 				m.grants = append(m.grants[:i], m.grants[i+1:]...)
 				m.stats.GrantsReclaimed++
+				m.cm.acct.GrantsReclaimed++
 				continue
 			}
 			i++
@@ -202,6 +203,7 @@ func (m *Macroflow) reclaimGrant(fl *flowState) bool {
 				fl.unclaimedGrants--
 			}
 			m.stats.GrantsReclaimed++
+			m.cm.acct.GrantsReclaimed++
 			return true
 		}
 	}
@@ -391,6 +393,7 @@ func (m *Macroflow) onBackgroundTimer() {
 				g.flow.unclaimedGrants--
 			}
 			m.stats.GrantsReclaimed++
+			m.cm.acct.GrantsReclaimed++
 			expired++
 			continue
 		}

@@ -47,6 +47,44 @@ const (
 	SetGilbert = "set-gilbert"
 )
 
+// Host-level event kinds. These name a host (Event.Host) instead of a link
+// and are applied through the owner's HostHook: the scenario layer maps them
+// onto Congestion Manager state wipes, libcm notification faults and
+// link/routing changes. See docs/ROBUSTNESS.md.
+const (
+	// CMRestart wipes the named host's Congestion Manager state mid-run —
+	// macroflows, flow table, scheduler rings — and bumps its epoch. Clients
+	// holding flow handles detect the epoch change and re-sync through the
+	// API (re-open, re-register, re-request).
+	CMRestart = "cm-restart"
+	// SetNotifyFaults configures the libcm notification path of the named
+	// host: DeliverSend/DeliverUpdate callbacks are dropped with probability
+	// DropRate or delayed by Delay with probability DelayRate, drawn from a
+	// seeded per-host fault RNG.
+	SetNotifyFaults = "set-notify-faults"
+	// HostMove is a mobile handoff: the named host detaches (all its links go
+	// down, in-flight packets die as route misses), macroflow state to and
+	// from the host is discarded or kept per Policy, and the host re-attaches
+	// Outage later (the scenario layer expands the event into a move/attach
+	// pair). Routes recompute live at both edges.
+	HostMove = "host-move"
+	// HostAttach re-attaches a moved host: its links come back up and routes
+	// recompute. It is normally generated from a HostMove's Outage rather
+	// than declared directly.
+	HostAttach = "host-attach"
+)
+
+// Host-move policies.
+const (
+	// PolicyDiscard (the default) throws away macroflow congestion state to
+	// and from the moved host: the new path shares nothing with the old one,
+	// so transfers restart from the initial window.
+	PolicyDiscard = "discard"
+	// PolicyMigrate keeps the macroflow state across the move: the learned
+	// window and RTT survive (the optimistic same-subnet handoff).
+	PolicyMigrate = "migrate"
+)
+
 // Directions select which half of a duplex link an event applies to.
 const (
 	// DirBoth (the default) applies the event to both directions.
@@ -65,21 +103,76 @@ type Event struct {
 	At time.Duration `json:"at"`
 	// Kind is one of the event-kind constants.
 	Kind string `json:"kind"`
-	// Link indexes the scenario's Links slice.
+	// Link indexes the scenario's Links slice (link events only).
 	Link int `json:"link"`
 	// Direction is DirBoth (default), DirForward or DirReverse.
 	Direction string `json:"direction,omitempty"`
+	// Host names the target of a host-level event (CMRestart,
+	// SetNotifyFaults, HostMove, HostAttach); Link is ignored for these.
+	Host string `json:"host,omitempty"`
 
 	Bandwidth netsim.Bandwidth       `json:"bandwidth,omitempty"`
 	Delay     time.Duration          `json:"delay,omitempty"`
 	LossRate  float64                `json:"loss_rate,omitempty"`
 	Gilbert   *netsim.GilbertElliott `json:"gilbert,omitempty"`
+
+	// DropRate and DelayRate are the SetNotifyFaults probabilities (in
+	// [0, 1]) of dropping or delaying one libcm callback delivery; Delay is
+	// the added latency of a delayed delivery.
+	DropRate  float64 `json:"drop_rate,omitempty"`
+	DelayRate float64 `json:"delay_rate,omitempty"`
+
+	// Policy is PolicyDiscard (default) or PolicyMigrate for a HostMove;
+	// Outage is how long the moved host stays detached (default 200 ms).
+	Policy string        `json:"policy,omitempty"`
+	Outage time.Duration `json:"outage,omitempty"`
 }
 
-// Validate checks the event against a topology with nlinks links.
+// HostEvent reports whether the event targets a host rather than a link.
+func (e Event) HostEvent() bool {
+	switch e.Kind {
+	case CMRestart, SetNotifyFaults, HostMove, HostAttach:
+		return true
+	}
+	return false
+}
+
+// Validate checks the event against a topology with nlinks links. Host
+// membership of host-level events is the owner's to check (the dynamics layer
+// does not know the node set).
 func (e Event) Validate(nlinks int) error {
 	if e.At < 0 {
 		return fmt.Errorf("dynamics: event at %v in the past", e.At)
+	}
+	if e.HostEvent() {
+		if e.Host == "" {
+			return fmt.Errorf("dynamics: %s event needs a host", e.Kind)
+		}
+		switch e.Kind {
+		case SetNotifyFaults:
+			if e.DropRate < 0 || e.DropRate > 1 {
+				return fmt.Errorf("dynamics: %s event drop rate %v out of [0,1]", e.Kind, e.DropRate)
+			}
+			if e.DelayRate < 0 || e.DelayRate > 1 {
+				return fmt.Errorf("dynamics: %s event delay rate %v out of [0,1]", e.Kind, e.DelayRate)
+			}
+			if e.Delay < 0 {
+				return fmt.Errorf("dynamics: %s event needs delay >= 0", e.Kind)
+			}
+		case HostMove:
+			if e.At <= 0 {
+				return fmt.Errorf("dynamics: %s event must be scheduled mid-run (at > 0)", e.Kind)
+			}
+			switch e.Policy {
+			case "", PolicyDiscard, PolicyMigrate:
+			default:
+				return fmt.Errorf("dynamics: %s event policy %q unknown", e.Kind, e.Policy)
+			}
+			if e.Outage < 0 {
+				return fmt.Errorf("dynamics: %s event needs outage >= 0", e.Kind)
+			}
+		}
+		return nil
 	}
 	if e.Link < 0 || e.Link >= nlinks {
 		return fmt.Errorf("dynamics: event link %d out of range [0,%d)", e.Link, nlinks)
@@ -125,9 +218,16 @@ type Record struct {
 	Event
 	// Fired is false for events scheduled past the end of the run.
 	Fired bool `json:"fired"`
+	// PastEnd flags an event scheduled after the run's horizon (At >
+	// duration): it can never fire, which is almost always a spec mistake.
+	// Set by SetHorizon; the scenario layer calls it with Spec.Duration.
+	PastEnd bool `json:"past_end,omitempty"`
 	// RoutesChanged counts routing-table entries that changed across all
 	// hosts when the event triggered a route recomputation.
 	RoutesChanged int `json:"routes_changed,omitempty"`
+	// FlowsWiped counts CM flows discarded by a host-level event (cm-restart
+	// wipes, host-move discards).
+	FlowsWiped int `json:"flows_wiped,omitempty"`
 }
 
 // Resolver maps an event's (link index, direction) to the directional links
@@ -138,11 +238,24 @@ type Resolver func(link int, direction string) []*netsim.Link
 // recomputes and installs routes, returning the number of changed entries.
 type TopologyHook func(ev Event) int
 
+// HostOutcome reports what a host-level event did, for the execution record.
+type HostOutcome struct {
+	RoutesChanged int
+	FlowsWiped    int
+}
+
+// HostHook applies one host-level event (CMRestart, SetNotifyFaults,
+// HostMove, HostAttach). The scenario layer supplies one that reaches the
+// host's Congestion Manager, libcm fault injector and links; a timeline with
+// no hook records host events as fired no-ops.
+type HostHook func(ev Event) HostOutcome
+
 // Timeline owns a scenario's scheduled events and their execution records.
 type Timeline struct {
 	sched    *simtime.Scheduler
 	resolve  Resolver
 	onChange TopologyHook
+	onHost   HostHook
 	recs     []Record
 }
 
@@ -161,6 +274,21 @@ func NewTimeline(sched *simtime.Scheduler, events []Event, resolve Resolver, onC
 		t.recs[i] = Record{Event: ev}
 	}
 	return t
+}
+
+// SetHostHook installs the host-level event handler. It must be called
+// before Install (host events applied at installation go through the hook).
+func (t *Timeline) SetHostHook(h HostHook) { t.onHost = h }
+
+// SetHorizon flags every event scheduled after the run's end (At > d) as
+// PastEnd in its execution record: such events sit silently unfired, which
+// the records now make visible instead of invisible.
+func (t *Timeline) SetHorizon(d time.Duration) {
+	for i := range t.recs {
+		if t.recs[i].At > d {
+			t.recs[i].PastEnd = true
+		}
+	}
 }
 
 // Install schedules every event. Events with At <= 0 are applied immediately
@@ -195,10 +323,19 @@ func (t *Timeline) Advance(now time.Duration) {
 	}
 }
 
-// fire applies event i to its resolved links and records the outcome.
+// fire applies event i to its resolved links (or, for a host-level event,
+// through the host hook) and records the outcome.
 func (t *Timeline) fire(i int) {
 	rec := &t.recs[i]
 	rec.Fired = true
+	if rec.HostEvent() {
+		if t.onHost != nil {
+			out := t.onHost(rec.Event)
+			rec.RoutesChanged = out.RoutesChanged
+			rec.FlowsWiped = out.FlowsWiped
+		}
+		return
+	}
 	dir := rec.Direction
 	if dir == "" {
 		dir = DirBoth

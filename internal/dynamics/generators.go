@@ -19,6 +19,11 @@ const (
 	// link bandwidth: every Step the rate is multiplied or divided by Factor
 	// with equal probability, clamped to [Min, Max].
 	GenBandwidthWalk = "bandwidth-walk"
+	// GenCMRestarts is a Poisson process of CMRestart events on Host: the
+	// Congestion Manager crashes and restarts with exponentially distributed
+	// inter-failure times of mean Mean (a host-level churn source for the
+	// fault-injection soak harness).
+	GenCMRestarts = "cm-restarts"
 )
 
 // Generator is a seeded stochastic event source. It is declarative sugar over
@@ -28,12 +33,15 @@ const (
 // declared timelines — serial/parallel byte-identity, sharded barrier firing,
 // per-event records — is inherited for free.
 type Generator struct {
-	// Kind is GenPoissonFlaps or GenBandwidthWalk.
+	// Kind is GenPoissonFlaps, GenBandwidthWalk or GenCMRestarts.
 	Kind string `json:"kind"`
-	// Link indexes the scenario's Links slice.
+	// Link indexes the scenario's Links slice (link generators only).
 	Link int `json:"link"`
 	// Direction is DirBoth (default), DirForward or DirReverse.
 	Direction string `json:"direction,omitempty"`
+	// Host names the target of a host-level generator (GenCMRestarts); Link
+	// is ignored for these.
+	Host string `json:"host,omitempty"`
 	// Seed drives the generator's private RNG. Zero derives a deterministic
 	// seed from the owning scenario's seed and the generator's position.
 	Seed int64 `json:"seed,omitempty"`
@@ -56,13 +64,22 @@ type Generator struct {
 	Initial netsim.Bandwidth `json:"initial,omitempty"`
 	Min     netsim.Bandwidth `json:"min,omitempty"`
 	Max     netsim.Bandwidth `json:"max,omitempty"`
+
+	// Mean is the expected inter-restart time of GenCMRestarts (default 10s).
+	Mean time.Duration `json:"mean,omitempty"`
 }
+
+// HostGenerator reports whether the generator targets a host rather than a
+// link.
+func (g Generator) HostGenerator() bool { return g.Kind == GenCMRestarts }
 
 // Validate checks the generator against a topology with nlinks links. Fields
 // with defaults (seed, means, step, factor, clamps, End) may be zero.
 func (g Generator) Validate(nlinks int) error {
-	if g.Link < 0 || g.Link >= nlinks {
-		return fmt.Errorf("dynamics: generator link %d out of range [0,%d)", g.Link, nlinks)
+	if !g.HostGenerator() {
+		if g.Link < 0 || g.Link >= nlinks {
+			return fmt.Errorf("dynamics: generator link %d out of range [0,%d)", g.Link, nlinks)
+		}
 	}
 	switch g.Direction {
 	case "", DirBoth, DirForward, DirReverse:
@@ -87,6 +104,13 @@ func (g Generator) Validate(nlinks int) error {
 		if g.Min < 0 || g.Max < 0 || (g.Min > 0 && g.Max > 0 && g.Min > g.Max) {
 			return fmt.Errorf("dynamics: %s generator clamp [%v, %v] invalid", g.Kind, g.Min, g.Max)
 		}
+	case GenCMRestarts:
+		if g.Host == "" {
+			return fmt.Errorf("dynamics: %s generator needs a host", g.Kind)
+		}
+		if g.Mean < 0 {
+			return fmt.Errorf("dynamics: %s generator mean %v negative", g.Kind, g.Mean)
+		}
 	default:
 		return fmt.Errorf("dynamics: generator kind %q unknown", g.Kind)
 	}
@@ -110,6 +134,8 @@ func (g Generator) Expand() []Event {
 		return g.expandFlaps(rng)
 	case GenBandwidthWalk:
 		return g.expandWalk(rng)
+	case GenCMRestarts:
+		return g.expandRestarts(rng)
 	}
 	return nil
 }
@@ -148,6 +174,22 @@ func (g Generator) expandFlaps(rng *rand.Rand) []Event {
 			Event{At: recover, Kind: LinkUp, Link: g.Link, Direction: g.Direction},
 		)
 		t = recover
+	}
+	return evs
+}
+
+func (g Generator) expandRestarts(rng *rand.Rand) []Event {
+	if g.Mean == 0 {
+		g.Mean = 10 * time.Second
+	}
+	var evs []Event
+	t := g.Start
+	for {
+		t += expDuration(rng, g.Mean)
+		if t >= g.End {
+			break
+		}
+		evs = append(evs, Event{At: t, Kind: CMRestart, Host: g.Host})
 	}
 	return evs
 }

@@ -1,0 +1,42 @@
+package faults
+
+import "repro/internal/sweep"
+
+// ChurnSoakCampaign is the canned robustness soak: the churn scenario (CM
+// restarts, notify faults, a mid-run host move and Poisson link flaps all at
+// once) swept across restart frequency and notification-drop rate, two seed
+// replicates per point. Axis params index into the churn spec's documented
+// stable positions: generator[1] is s0's cm-restarts process and event[0] is
+// s1's set-notify-faults (see scenario.Churn).
+//
+// The campaign is meant to run under invariant checking (`cmsim -campaign
+// examples/campaigns/churn-soak.json -check-invariants` or `make
+// soak-smoke`): every replicate's end state must pass faults.Check, whatever
+// the fault mix. The file in examples/campaigns is pinned to this definition
+// by TestChurnSoakCampaignFileMatchesDefinition; regenerate it with `go run
+// ./tools/gencampaign` after changing this.
+func ChurnSoakCampaign() sweep.Campaign {
+	return sweep.Campaign{
+		Name:       "churn-soak",
+		Scenario:   "churn",
+		Replicates: 2,
+		Axes: []sweep.Axis{
+			// Mean seconds between s0's CM restarts: roughly every 2s down to
+			// roughly every 6s over the 12s run.
+			{Param: "generator[1].mean", Values: []float64{2, 6}},
+			// s1's probability of dropping each libcm notification delivery.
+			{Param: "event[0].drop_rate", Values: []float64{0, 0.05, 0.15}},
+		},
+		Metrics: []string{
+			"total.*",
+			"cms[*].Restarts",
+			"cms[*].StaleFlowCalls",
+			"cms[*].MacroflowResets",
+			"cms[*].DroppedSends",
+			"cms[*].DroppedUpdates",
+			"cms[*].StaleUpdatesDropped",
+			"cms[*].stranded_flows",
+			"cms[*].outstanding_grants",
+		},
+	}
+}

@@ -1,0 +1,171 @@
+// Package faults is the host-level fault-injection harness: the invariant
+// checker that validates scenario results after churn (CM restarts, dropped
+// or delayed libcm notifications, host moves), and the canned churn-soak
+// campaign that sweeps fault rates while checking every run.
+//
+// The injection machinery itself lives where the faults happen — dynamics
+// (event kinds and the cm-restarts generator), cm (Restart, epochs, the
+// end-of-run Audit), libcm (the notification Injector) and scenario (the
+// host-event hook). This package is the judge: given a Result it decides
+// whether the run's end state is consistent, and a soak run fails loudly
+// instead of averaging a leak into a throughput number. See
+// docs/ROBUSTNESS.md.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+)
+
+// Violation is one failed invariant in one run.
+type Violation struct {
+	// Scenario names the run (plus point/replicate position for campaigns).
+	Scenario string `json:"scenario"`
+	// Rule identifies the invariant (stable, machine-matchable).
+	Rule string `json:"rule"`
+	// Detail is the human-readable specifics.
+	Detail string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s: %s", v.Scenario, v.Rule, v.Detail)
+}
+
+// Invariant rule names.
+const (
+	// RuleNegativeCounter: a numeric result field is negative. Every counter
+	// in the result is monotonic or a non-negative gauge; a negative value
+	// means double-decrement somewhere (e.g. a grant reclaimed twice).
+	RuleNegativeCounter = "negative-counter"
+	// RuleGrantConservation: GrantsIssued != GrantsReclaimed + outstanding.
+	// Every grant the CM issues must end the run either reclaimed (used,
+	// declined, expired, or wiped by a restart) or still countably
+	// outstanding; anything else is a leak.
+	RuleGrantConservation = "grant-conservation"
+	// RuleStrandedFlow: a flow ended the run with a pending request, a live
+	// send callback and an open macroflow window — the CM should have
+	// granted it, so a notification was lost and never re-requested.
+	RuleStrandedFlow = "stranded-flow"
+	// RuleNegativePending: a flow's pending-request count went negative
+	// (more grants delivered than requests made).
+	RuleNegativePending = "negative-pending"
+	// RuleEpochMismatch: a CM's epoch disagrees with its restart counter.
+	RuleEpochMismatch = "epoch-mismatch"
+	// RuleUnfiredEvent: a dynamics event scheduled inside the run never
+	// fired, or one flagged past-end fired anyway.
+	RuleUnfiredEvent = "unfired-event"
+)
+
+// Check validates one run's end state and returns every violated invariant
+// (empty for a clean run).
+func Check(res *scenario.Result) []Violation {
+	var out []Violation
+	add := func(rule, format string, args ...any) {
+		out = append(out, Violation{
+			Scenario: res.Scenario,
+			Rule:     rule,
+			Detail:   fmt.Sprintf(format, args...),
+		})
+	}
+
+	// Every numeric field in the whole result must be non-negative. The
+	// flattened key space (see sweep.Flatten) covers flows, links, hosts and
+	// CM accounting alike, so a new counter is guarded the day it is added.
+	flat := sweep.Flatten(res)
+	for _, k := range sortedKeys(flat) {
+		if flat[k] < 0 && !signedField(k) {
+			add(RuleNegativeCounter, "%s = %v", k, flat[k])
+		}
+	}
+
+	for _, cmr := range res.CMs {
+		if got, want := cmr.GrantsIssued, cmr.GrantsReclaimed+int64(cmr.OutstandingGrants); got != want {
+			add(RuleGrantConservation,
+				"cm %s: GrantsIssued %d != GrantsReclaimed %d + outstanding %d",
+				cmr.Host, got, cmr.GrantsReclaimed, cmr.OutstandingGrants)
+		}
+		if cmr.StrandedFlows > 0 {
+			add(RuleStrandedFlow, "cm %s: %d flow(s) with a pending request, a send callback and an open window",
+				cmr.Host, cmr.StrandedFlows)
+		}
+		if cmr.NegativePending > 0 {
+			add(RuleNegativePending, "cm %s: %d flow(s) with negative pending requests",
+				cmr.Host, cmr.NegativePending)
+		}
+		if cmr.Epoch != cmr.Restarts {
+			add(RuleEpochMismatch, "cm %s: epoch %d != restarts %d",
+				cmr.Host, cmr.Epoch, cmr.Restarts)
+		}
+	}
+
+	for i, ev := range res.Events {
+		switch {
+		case ev.PastEnd && ev.Fired:
+			add(RuleUnfiredEvent, "event[%d] %s at %v flagged past-end but fired",
+				i, ev.Kind, ev.At)
+		case !ev.PastEnd && !ev.Fired && ev.At <= res.EndTime:
+			add(RuleUnfiredEvent, "event[%d] %s scheduled at %v never fired (run ended %v)",
+				i, ev.Kind, ev.At, res.EndTime)
+		}
+	}
+	return out
+}
+
+// CheckCampaign runs Check over every raw replicate result of an executed
+// campaign, labelling each violation with its point and replicate.
+func CheckCampaign(cr *sweep.CampaignResult) []Violation {
+	var out []Violation
+	for _, pt := range cr.Points {
+		for rep, res := range pt.Results {
+			if res == nil {
+				continue
+			}
+			for _, v := range Check(res) {
+				v.Scenario = fmt.Sprintf("%s point=%d rep=%d seed=%d",
+					v.Scenario, pt.Index, rep, seedAt(pt.Seeds, rep))
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+func seedAt(seeds []int64, i int) int64 {
+	if i < len(seeds) {
+		return seeds[i]
+	}
+	return -1
+}
+
+// signedField reports whether the flattened result field is legitimately
+// signed and exempt from the non-negativity rule. Durations derived from
+// uninitialised timestamps can be negative only through bugs elsewhere, so
+// only genuinely signed quantities are listed.
+func signedField(key string) bool {
+	// No signed result fields today; RTT estimators, counters and byte
+	// totals are all non-negative by construction.
+	_ = key
+	return false
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Soak runs one scenario spec and checks it, returning the result and any
+// violations. It is the single-run form of the churn soak.
+func Soak(spec scenario.Spec) (*scenario.Result, []Violation, error) {
+	res, err := scenario.Run(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, Check(res), nil
+}

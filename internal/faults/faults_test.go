@@ -1,0 +1,164 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dynamics"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+)
+
+func churnResult(t *testing.T) *scenario.Result {
+	t.Helper()
+	spec, err := scenario.Lookup("churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scenario.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestChurnRunPassesAllInvariants is the core robustness claim: a run with
+// every fault class active at once (CM restarts, notify drop/delay, a host
+// move, link flaps) ends in a consistent state.
+func TestChurnRunPassesAllInvariants(t *testing.T) {
+	res := churnResult(t)
+	if vs := Check(res); len(vs) != 0 {
+		t.Fatalf("churn run violated invariants: %v", vs)
+	}
+	// The run must actually have exercised the fault machinery, or the clean
+	// bill of health is vacuous.
+	var restarts, dropped int64
+	var wiped int
+	for _, c := range res.CMs {
+		restarts += c.Restarts
+		dropped += c.DroppedSends + c.DroppedUpdates
+	}
+	for _, ev := range res.Events {
+		wiped += ev.FlowsWiped
+	}
+	if restarts == 0 || dropped == 0 || wiped == 0 {
+		t.Fatalf("fault machinery idle: restarts=%d dropped=%d wiped=%d", restarts, dropped, wiped)
+	}
+}
+
+// TestCheckFlagsEachViolation corrupts a healthy result one invariant at a
+// time and expects exactly that rule to fire.
+func TestCheckFlagsEachViolation(t *testing.T) {
+	base := churnResult(t)
+	tamper := []struct {
+		rule    string
+		corrupt func(r *scenario.Result)
+	}{
+		{RuleGrantConservation, func(r *scenario.Result) { r.CMs[0].GrantsIssued += 5 }},
+		{RuleStrandedFlow, func(r *scenario.Result) { r.CMs[0].StrandedFlows = 2 }},
+		{RuleNegativePending, func(r *scenario.Result) { r.CMs[0].NegativePending = 1 }},
+		{RuleEpochMismatch, func(r *scenario.Result) { r.CMs[0].Epoch += 3 }},
+		{RuleNegativeCounter, func(r *scenario.Result) { r.Flows[0].Delivered = -1 }},
+		{RuleUnfiredEvent, func(r *scenario.Result) { r.Events[0].Fired = false }},
+		{RuleUnfiredEvent, func(r *scenario.Result) {
+			r.Events = append(r.Events, dynamics.Record{
+				Event:   dynamics.Event{At: time.Hour, Kind: dynamics.CMRestart, Host: "s0"},
+				Fired:   true,
+				PastEnd: true,
+			})
+		}},
+	}
+	for _, tc := range tamper {
+		res, err := scenario.Run(mustLookup(t, "churn"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.corrupt(res)
+		vs := Check(res)
+		found := false
+		for _, v := range vs {
+			if v.Rule == tc.rule {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("corrupting for %s produced %v", tc.rule, vs)
+		}
+	}
+	_ = base
+}
+
+func mustLookup(t *testing.T, name string) scenario.Spec {
+	t.Helper()
+	spec, err := scenario.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestChurnSoakCampaign runs the canned soak serially and in parallel: zero
+// violations either way, and byte-identical CSV output.
+func TestChurnSoakCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak campaign in -short mode")
+	}
+	camp := ChurnSoakCampaign()
+	serial, err := camp.Run(scenario.Runner{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := CheckCampaign(serial); len(vs) != 0 {
+		t.Fatalf("soak violated invariants: %v", vs)
+	}
+	parallel, err := camp.Run(scenario.Runner{Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.CSV() != parallel.CSV() {
+		t.Fatal("serial and parallel soak CSVs differ")
+	}
+	// Sharded execution of every point must agree too.
+	shardedCamp := camp
+	shardedCamp.Shards = 4
+	sharded, err := shardedCamp.Run(scenario.Runner{Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := CheckCampaign(sharded); len(vs) != 0 {
+		t.Fatalf("sharded soak violated invariants: %v", vs)
+	}
+	if serial.CSV() != sharded.CSV() {
+		t.Fatal("serial and sharded soak CSVs differ")
+	}
+}
+
+// TestCheckCampaignLabelsViolations: a corrupted replicate is reported with
+// its point and seed coordinates.
+func TestCheckCampaignLabelsViolations(t *testing.T) {
+	res, err := scenario.Run(mustLookup(t, "churn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.CMs[0].Epoch++
+	cr := &sweep.CampaignResult{Points: []sweep.PointResult{{
+		Index:   3,
+		Seeds:   []int64{11, 12},
+		Results: []*scenario.Result{nil, res},
+	}}}
+	vs := CheckCampaign(cr)
+	if len(vs) == 0 {
+		t.Fatal("corruption not reported")
+	}
+	want := "point=3 rep=1 seed=12"
+	for _, v := range vs {
+		if v.Rule == RuleEpochMismatch {
+			if !strings.Contains(v.Scenario, want) {
+				t.Fatalf("violation label %q missing %q", v.Scenario, want)
+			}
+			return
+		}
+	}
+	t.Fatalf("epoch-mismatch not among %v", vs)
+}

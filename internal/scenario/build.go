@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cm"
 	"repro/internal/dynamics"
+	"repro/internal/libcm"
 	"repro/internal/netsim"
 	"repro/internal/node"
 	"repro/internal/simtime"
@@ -27,6 +28,9 @@ type Sim struct {
 	duplexes []*netsim.Duplex
 	cms      map[string]*cm.CM
 	cmHosts  []string // deterministic order of cms keys
+	// injectors holds one notification fault injector per CM host (shared by
+	// every libcm instance of that host), driven by set-notify-faults events.
+	injectors map[string]*libcm.Injector
 
 	// linkFrom[a][b] is the directional link a->b; neighbors[a] lists a's
 	// adjacent nodes in first-mention order. Both are retained after Build so
@@ -64,6 +68,10 @@ func Build(spec Spec) (*Sim, error) {
 		}
 		spec.Events = evs
 	}
+	// Every host-move implies a later re-attach; splitting the pair out here
+	// makes both halves visible to the shard planner's barrier schedule and
+	// the execution record, like any other event.
+	spec.Events = expandHostMoves(spec.Events)
 	sim := &Sim{Spec: spec, cms: make(map[string]*cm.CM)}
 
 	// Node order is the first mention in Links; it is needed up front because
@@ -192,6 +200,13 @@ func Build(spec Spec) (*Sim, error) {
 			c.SetOwnershipCheck(sim.shard.ownerCheck(sim.shard.plan.shardOf[h]))
 		}
 	}
+	// One fault injector per CM host, seeded from the spec seed and the
+	// host's position in the sorted CM-host list (the 0x5eed offset keeps the
+	// stream disjoint from the generator and web-mix sub-streams).
+	sim.injectors = make(map[string]*libcm.Injector)
+	for i, h := range sim.cmHosts {
+		sim.injectors[h] = libcm.NewInjector(spec.Seed + int64(i+1)*subSeedStride + 0x5eed)
+	}
 
 	// The dynamics timeline is installed last so its time-zero events (static
 	// asymmetries and initial loss modes) see the fully wired topology. A
@@ -200,9 +215,99 @@ func Build(spec Spec) (*Sim, error) {
 	if len(spec.Events) > 0 {
 		sim.timeline = dynamics.NewTimeline(sim.sched, spec.Events, sim.resolveEventLinks,
 			func(dynamics.Event) int { return sim.recomputeRoutes() })
+		sim.timeline.SetHostHook(sim.applyHostEvent)
+		sim.timeline.SetHorizon(spec.Duration)
 		sim.timeline.Install()
 	}
 	return sim, nil
+}
+
+// expandHostMoves splits every host-move into its two observable halves: the
+// detach at At (links down, routes withdrawn, macroflow state handled per
+// policy) and a host-attach at At+Outage when the host reappears at its new
+// address. Both are ordinary timeline events, so the sharded runner's barrier
+// schedule and the execution record see them like any other. The input slice
+// is returned untouched when there is nothing to expand.
+func expandHostMoves(events []dynamics.Event) []dynamics.Event {
+	hasMove := false
+	for _, ev := range events {
+		if ev.Kind == dynamics.HostMove {
+			hasMove = true
+			break
+		}
+	}
+	if !hasMove {
+		return events
+	}
+	out := append([]dynamics.Event(nil), events...)
+	var attaches []dynamics.Event
+	for i := range out {
+		ev := &out[i]
+		if ev.Kind != dynamics.HostMove {
+			continue
+		}
+		if ev.Outage <= 0 {
+			ev.Outage = 200 * time.Millisecond
+		}
+		attaches = append(attaches, dynamics.Event{
+			At:   ev.At + ev.Outage,
+			Kind: dynamics.HostAttach,
+			Host: ev.Host,
+		})
+	}
+	out = append(out, attaches...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// applyHostEvent is the dynamics.HostHook of this simulation: it realises
+// host-level fault events against the built topology and CMs.
+func (s *Sim) applyHostEvent(ev dynamics.Event) dynamics.HostOutcome {
+	var out dynamics.HostOutcome
+	switch ev.Kind {
+	case dynamics.CMRestart:
+		if c := s.cms[ev.Host]; c != nil {
+			out.FlowsWiped = c.Restart()
+		}
+	case dynamics.SetNotifyFaults:
+		if inj := s.injectors[ev.Host]; inj != nil {
+			inj.SetRates(ev.DropRate, ev.DelayRate, ev.Delay)
+		}
+	case dynamics.HostMove:
+		// The host leaves its attachment point: every adjacent link goes
+		// down, routes recompute, and in-flight packets toward it die as
+		// route misses. Unless the policy migrates state, congestion state
+		// about the old address is discarded — on the moving host's own CM
+		// (its path knowledge is stale) and on every peer CM aggregating
+		// flows toward it.
+		s.setHostLinks(ev.Host, true)
+		out.RoutesChanged = s.recomputeRoutes()
+		if ev.Policy != dynamics.PolicyMigrate {
+			if c := s.cms[ev.Host]; c != nil {
+				out.FlowsWiped += c.ResetAllMacroflows()
+			}
+			for _, h := range s.cmHosts {
+				if h == ev.Host {
+					continue
+				}
+				out.FlowsWiped += s.cms[h].ResetMacroflows(ev.Host)
+			}
+		}
+	case dynamics.HostAttach:
+		s.setHostLinks(ev.Host, false)
+		out.RoutesChanged = s.recomputeRoutes()
+	}
+	return out
+}
+
+// setHostLinks takes every link adjacent to host down (or back up).
+func (s *Sim) setHostLinks(host string, down bool) {
+	for i, ls := range s.Spec.Links {
+		if ls.A == host || ls.B == host {
+			s.duplexes[i].Forward.SetDown(down)
+			s.duplexes[i].Reverse.SetDown(down)
+		}
+	}
 }
 
 // expandGenerators merges the spec's declared events with the expansion of

@@ -642,3 +642,120 @@ func PointToPoint(p PointToPointParams) Spec {
 	}
 	return spec
 }
+
+// ChurnParams parameterises the host-churn soak scenario: a small dumbbell
+// under every class of fault at once — link flaps, CM restarts, dropped and
+// delayed notifications, and a mobile receiver.
+type ChurnParams struct {
+	// RestartMean is the mean inter-restart time of s0's CM (default 3 s).
+	RestartMean time.Duration
+	// DropRate / DelayRate / Delay configure s1's notification faults
+	// (defaults 0.05, 0.10 and 20 ms).
+	DropRate  float64
+	DelayRate float64
+	Delay     time.Duration
+	// MoveAt / Outage schedule d1's address change (defaults 2 s and 400 ms,
+	// early enough that shortened CI runs still exercise both halves).
+	MoveAt time.Duration
+	Outage time.Duration
+	// FlapMeanUp / FlapMeanDown drive the bottleneck's Poisson flaps
+	// (defaults 4 s up, 300 ms down).
+	FlapMeanUp   time.Duration
+	FlapMeanDown time.Duration
+	Duration     time.Duration
+	Seed         int64
+}
+
+func (p *ChurnParams) fillDefaults() {
+	if p.RestartMean <= 0 {
+		p.RestartMean = 3 * time.Second
+	}
+	if p.DropRate == 0 {
+		p.DropRate = 0.05
+	}
+	if p.DelayRate == 0 {
+		p.DelayRate = 0.10
+	}
+	if p.Delay <= 0 {
+		p.Delay = 20 * time.Millisecond
+	}
+	if p.MoveAt <= 0 {
+		p.MoveAt = 2 * time.Second
+	}
+	if p.Outage <= 0 {
+		p.Outage = 400 * time.Millisecond
+	}
+	if p.FlapMeanUp <= 0 {
+		p.FlapMeanUp = 4 * time.Second
+	}
+	if p.FlapMeanDown <= 0 {
+		p.FlapMeanDown = 300 * time.Millisecond
+	}
+	if p.Duration <= 0 {
+		p.Duration = 12 * time.Second
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+}
+
+// Churn builds the host-fault soak scenario:
+//
+//	s0, s1 -- left -- bottleneck -- right -- d0, d1
+//
+// s0 drives TCP CM traffic (a backlogged stream plus repeated bulk
+// transfers) while its CM is crash-restarted by a Poisson process; s1 drives
+// both layered UDP applications through a notification path that drops and
+// delays grants and rate callbacks; the bottleneck flaps; and d1 changes
+// address mid-run, killing in-flight packets and (policy "discard")
+// congestion state about it. Every fault class of docs/ROBUSTNESS.md fires
+// in one run, which is what makes it the soak-harness workload: if an
+// invariant can break, this is where.
+//
+// Sweep axes rely on stable positions: Events[0] is s1's set-notify-faults
+// and Generators[1] is s0's cm-restarts.
+func Churn(p ChurnParams) Spec {
+	p.fillDefaults()
+	access := netsim.LinkConfig{
+		Bandwidth:    100 * netsim.Mbps,
+		Delay:        2 * time.Millisecond,
+		QueuePackets: 300,
+	}
+	spec := Spec{
+		Name: "churn",
+		Description: fmt.Sprintf("dumbbell under host churn: CM restarts every ~%v, %.0f%%/%.0f%% notify drop/delay, bottleneck flaps, d1 moves at %v",
+			p.RestartMean, p.DropRate*100, p.DelayRate*100, p.MoveAt),
+		Routers:  []string{"left", "right"},
+		CMHosts:  []string{"s0", "s1"},
+		Duration: p.Duration,
+		Seed:     p.Seed,
+	}
+	spec.Links = append(spec.Links,
+		LinkSpec{A: "left", B: "right", LinkConfig: netsim.LinkConfig{
+			Name:         "bottleneck",
+			Bandwidth:    10 * netsim.Mbps,
+			Delay:        20 * time.Millisecond,
+			QueuePackets: 120,
+		}},
+		LinkSpec{A: "s0", B: "left", LinkConfig: access},
+		LinkSpec{A: "s1", B: "left", LinkConfig: access},
+		LinkSpec{A: "right", B: "d0", LinkConfig: access},
+		LinkSpec{A: "right", B: "d1", LinkConfig: access},
+	)
+	spec.Workloads = []Workload{
+		{Kind: KindStream, From: "s0", To: "d0", CC: CCCM},
+		{Kind: KindBulk, From: "s0", To: "d0", Flows: 2, Bytes: 1 << 20, CC: CCCM},
+		{Kind: KindUDPALF, From: "s1", To: "d1"},
+		{Kind: KindUDPRate, From: "s1", To: "d1"},
+	}
+	spec.Events = []dynamics.Event{
+		{At: 0, Kind: dynamics.SetNotifyFaults, Host: "s1",
+			DropRate: p.DropRate, DelayRate: p.DelayRate, Delay: p.Delay},
+		{At: p.MoveAt, Kind: dynamics.HostMove, Host: "d1", Outage: p.Outage},
+	}
+	spec.Generators = []dynamics.Generator{
+		{Kind: dynamics.GenPoissonFlaps, Link: 0, MeanUp: p.FlapMeanUp, MeanDown: p.FlapMeanDown},
+		{Kind: dynamics.GenCMRestarts, Host: "s0", Mean: p.RestartMean},
+	}
+	return spec
+}

@@ -84,4 +84,7 @@ func init() {
 	Register("webmix", func() Spec {
 		return WebMix(WebMixParams{})
 	})
+	Register("churn", func() Spec {
+		return Churn(ChurnParams{})
+	})
 }

@@ -66,7 +66,19 @@ type CMResult struct {
 	Host       string `json:"host"`
 	Macroflows int    `json:"macroflows"`
 	Flows      int    `json:"flows"`
+	// Epoch is the CM's restart count at end of run.
+	Epoch int64 `json:"epoch,omitempty"`
 	cm.Accounting
+	// Audit is the end-of-run liveness/conservation snapshot the faults
+	// invariant checker examines (stranded flows, leaked requests, grants
+	// still outstanding).
+	PendingRequests   int `json:"pending_requests"`
+	UnclaimedGrants   int `json:"unclaimed_grants"`
+	OutstandingGrants int `json:"outstanding_grants"`
+	StrandedFlows     int `json:"stranded_flows"`
+	NegativePending   int `json:"negative_pending"`
+	// Notification fault-injection counters of the host's libcm instances.
+	libcm.InjectorStats
 }
 
 // Result is the outcome of one scenario run. It is a pure function of the
@@ -285,6 +297,7 @@ func (s *Sim) startUDPFlow(w *Workload, d *flowDriver, port int) error {
 	}
 	fromClock := s.clockFor(w.From)
 	lib := libcm.New(s.cms[w.From], fromClock, libcm.ModeAuto)
+	lib.SetInjector(s.injectors[w.From])
 	srv, err := app.NewLayeredServer(s.net.Host(w.From), lib, client.Addr(), app.LayeredConfig{Mode: mode})
 	if err != nil {
 		return err
@@ -360,12 +373,23 @@ func (s *Sim) collect(drivers []*flowDriver) *Result {
 	}
 	for _, host := range s.cmHosts {
 		c := s.cms[host]
-		res.CMs = append(res.CMs, CMResult{
-			Host:       host,
-			Macroflows: c.MacroflowCount(),
-			Flows:      c.FlowCount(),
-			Accounting: c.Accounting(),
-		})
+		audit := c.Audit()
+		cr := CMResult{
+			Host:              host,
+			Macroflows:        c.MacroflowCount(),
+			Flows:             c.FlowCount(),
+			Epoch:             c.Epoch(),
+			Accounting:        c.Accounting(),
+			PendingRequests:   audit.PendingRequests,
+			UnclaimedGrants:   audit.UnclaimedGrants,
+			OutstandingGrants: audit.OutstandingGrants,
+			StrandedFlows:     audit.StrandedFlows,
+			NegativePending:   audit.NegativePending,
+		}
+		if inj := s.injectors[host]; inj != nil {
+			cr.InjectorStats = inj.Stats()
+		}
+		res.CMs = append(res.CMs, cr)
 	}
 	if s.timeline != nil {
 		res.Events = s.timeline.Records()

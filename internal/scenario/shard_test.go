@@ -17,7 +17,7 @@ import (
 // layered UDP workloads, an active dynamics timeline with an outage and live
 // route recomputation, and the 64-node cluster grid.
 func TestShardedRunsAreByteIdentical(t *testing.T) {
-	scenarios := []string{"grid", "flaky-dumbbell"}
+	scenarios := []string{"grid", "flaky-dumbbell", "churn"}
 	if !testing.Short() {
 		scenarios = append(scenarios, "wireless", "parkinglot")
 	}
@@ -31,6 +31,11 @@ func TestShardedRunsAreByteIdentical(t *testing.T) {
 		spec.Duration = 3 * time.Second
 		if name == "flaky-dumbbell" {
 			spec.Duration = 12 * time.Second // past the outage and recovery
+		}
+		if name == "churn" {
+			// Past the host move (2s), its re-attach and a few CM restarts,
+			// with notify faults injecting throughout.
+			spec.Duration = 6 * time.Second
 		}
 		if name == "grid" {
 			// Drop the cross-cluster start stagger: every transfer dials at

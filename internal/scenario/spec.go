@@ -279,14 +279,49 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("scenario %q: workload %d rate %v negative", s.Name, i, w.Rate)
 		}
 	}
+	// Host-level fault events must name real nodes: a CM to restart or
+	// notify-fault must actually exist (CMHosts plus CM-workload sources),
+	// and only end hosts move (routers are the infrastructure that stays).
+	cmHost := make(map[string]bool)
+	for _, h := range s.CMHosts {
+		cmHost[h] = true
+	}
+	for _, w := range s.Workloads {
+		if w.CC == CCCM || udpKind(w.Kind) {
+			cmHost[w.From] = true
+		}
+	}
+	checkHost := func(what, host string, needsCM bool) error {
+		if !nodes[host] {
+			return fmt.Errorf("scenario %q: %s host %q not in topology", s.Name, what, host)
+		}
+		if router[host] {
+			return fmt.Errorf("scenario %q: %s host %q is a router", s.Name, what, host)
+		}
+		if needsCM && !cmHost[host] {
+			return fmt.Errorf("scenario %q: %s host %q runs no Congestion Manager", s.Name, what, host)
+		}
+		return nil
+	}
 	for i, ev := range s.Events {
 		if err := ev.Validate(len(s.Links)); err != nil {
 			return fmt.Errorf("scenario %q: event %d: %w", s.Name, i, err)
+		}
+		if ev.HostEvent() {
+			needsCM := ev.Kind == dynamics.CMRestart || ev.Kind == dynamics.SetNotifyFaults
+			if err := checkHost(ev.Kind, ev.Host, needsCM); err != nil {
+				return fmt.Errorf("event %d: %w", i, err)
+			}
 		}
 	}
 	for i, g := range s.Generators {
 		if err := g.Validate(len(s.Links)); err != nil {
 			return fmt.Errorf("scenario %q: generator %d: %w", s.Name, i, err)
+		}
+		if g.HostGenerator() {
+			if err := checkHost(g.Kind, g.Host, true); err != nil {
+				return fmt.Errorf("generator %d: %w", i, err)
+			}
 		}
 	}
 	if s.Shards < 0 {

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/dynamics"
 	"repro/internal/netsim"
 	"repro/internal/scenario"
 )
@@ -17,10 +18,13 @@ import (
 //	link[i].{loss | bandwidth | delay | queue | seed |
 //	         ge.p_good_bad | ge.p_bad_good | ge.loss_good | ge.loss_bad | ge.tick}
 //	workload[i].{flows | bytes | rate | start | recv_window | port | cc | kind}
+//	event[i].{at | drop_rate | delay_rate | delay | outage}
+//	generator[i].{seed | mean | mean_up | mean_down | start | end}
 //
 // i is a zero-based index or * for every element. Durations (duration, delay,
-// start, ge.tick) are numeric seconds; bandwidth is bits per second; loss is
-// a rate in [0, 1]. cc and kind are the only string-valued params.
+// start, end, outage, mean*, ge.tick) are numeric seconds; bandwidth is bits
+// per second; loss and the notify-fault rates are rates in [0, 1]. cc and
+// kind are the only string-valued params.
 
 // Apply patches one parameter of the spec. The caller owns spec deep enough
 // for in-place writes (see cloneSpec); Apply never aliases new state into
@@ -63,8 +67,22 @@ func Apply(spec *scenario.Spec, param string, v Value) error {
 		return eachIndex(index, len(spec.Workloads), param, func(i int) error {
 			return applyWorkload(&spec.Workloads[i], param, rest, v)
 		})
+	case "event":
+		if index == indexNone {
+			return fmt.Errorf("sweep: param %q: event needs an index ([0], [*])", param)
+		}
+		return eachIndex(index, len(spec.Events), param, func(i int) error {
+			return applyEvent(&spec.Events[i], param, rest, v)
+		})
+	case "generator":
+		if index == indexNone {
+			return fmt.Errorf("sweep: param %q: generator needs an index ([0], [*])", param)
+		}
+		return eachIndex(index, len(spec.Generators), param, func(i int) error {
+			return applyGenerator(&spec.Generators[i], param, rest, v)
+		})
 	}
-	return fmt.Errorf("sweep: unknown param %q (want seed, shards, duration, link[i].*, workload[i].*)", param)
+	return fmt.Errorf("sweep: unknown param %q (want seed, shards, duration, link[i].*, workload[i].*, event[i].*, generator[i].*)", param)
 }
 
 const (
@@ -196,6 +214,52 @@ func applyWorkload(w *scenario.Workload, param, field string, v Value) error {
 		w.Port = int(math.Round(n))
 	default:
 		return fmt.Errorf("sweep: unknown workload param %q", param)
+	}
+	return nil
+}
+
+func applyEvent(e *dynamics.Event, param, field string, v Value) error {
+	n, err := v.numeric(param)
+	if err != nil {
+		return err
+	}
+	switch field {
+	case "at":
+		e.At = seconds(n)
+	case "drop_rate":
+		e.DropRate = n
+	case "delay_rate":
+		e.DelayRate = n
+	case "delay":
+		e.Delay = seconds(n)
+	case "outage":
+		e.Outage = seconds(n)
+	default:
+		return fmt.Errorf("sweep: unknown event param %q", param)
+	}
+	return nil
+}
+
+func applyGenerator(g *dynamics.Generator, param, field string, v Value) error {
+	n, err := v.numeric(param)
+	if err != nil {
+		return err
+	}
+	switch field {
+	case "seed":
+		g.Seed = int64(n)
+	case "mean":
+		g.Mean = seconds(n)
+	case "mean_up":
+		g.MeanUp = seconds(n)
+	case "mean_down":
+		g.MeanDown = seconds(n)
+	case "start":
+		g.Start = seconds(n)
+	case "end":
+		g.End = seconds(n)
+	default:
+		return fmt.Errorf("sweep: unknown generator param %q", param)
 	}
 	return nil
 }

@@ -1,0 +1,66 @@
+package sweep
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dynamics"
+	"repro/internal/scenario"
+)
+
+func TestApplyEventAndGeneratorParams(t *testing.T) {
+	spec := scenario.Spec{
+		Events: []dynamics.Event{
+			{At: time.Second, Kind: dynamics.SetNotifyFaults, Host: "a"},
+			{At: 2 * time.Second, Kind: dynamics.HostMove, Host: "b"},
+		},
+		Generators: []dynamics.Generator{
+			{Kind: dynamics.GenPoissonFlaps, Link: 0},
+			{Kind: dynamics.GenCMRestarts, Host: "a"},
+		},
+	}
+	apply := func(param string, n float64) {
+		t.Helper()
+		if err := Apply(&spec, param, Value{Param: param, Num: n}); err != nil {
+			t.Fatalf("Apply(%s): %v", param, err)
+		}
+	}
+	apply("event[0].drop_rate", 0.25)
+	apply("event[0].delay_rate", 0.5)
+	apply("event[0].delay", 0.02)
+	apply("event[1].at", 3)
+	apply("event[1].outage", 0.4)
+	apply("generator[0].mean_up", 5)
+	apply("generator[0].mean_down", 0.5)
+	apply("generator[1].mean", 2)
+	apply("generator[1].seed", 99)
+	apply("generator[*].start", 1)
+	apply("generator[1].end", 10)
+
+	ev0, ev1 := spec.Events[0], spec.Events[1]
+	if ev0.DropRate != 0.25 || ev0.DelayRate != 0.5 || ev0.Delay != 20*time.Millisecond {
+		t.Fatalf("event[0] = %+v", ev0)
+	}
+	if ev1.At != 3*time.Second || ev1.Outage != 400*time.Millisecond {
+		t.Fatalf("event[1] = %+v", ev1)
+	}
+	g0, g1 := spec.Generators[0], spec.Generators[1]
+	if g0.MeanUp != 5*time.Second || g0.MeanDown != 500*time.Millisecond || g0.Start != time.Second {
+		t.Fatalf("generator[0] = %+v", g0)
+	}
+	if g1.Mean != 2*time.Second || g1.Seed != 99 || g1.Start != time.Second || g1.End != 10*time.Second {
+		t.Fatalf("generator[1] = %+v", g1)
+	}
+
+	for _, bad := range []string{
+		"event[0].bandwidth",  // not a swept event field
+		"event.at",            // missing index
+		"event[2].at",         // out of range
+		"generator[0].factor", // not a swept generator field
+		"generator.mean",      // missing index
+	} {
+		if err := Apply(&spec, bad, Value{Param: bad, Num: 1}); err == nil {
+			t.Errorf("Apply(%s) accepted", bad)
+		}
+	}
+}

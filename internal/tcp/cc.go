@@ -152,6 +152,10 @@ type cmCC struct {
 	flow            cm.FlowID
 	opened          bool
 	pendingRequests int
+	// epoch is the CM restart epoch the flow handle belongs to; a mismatch
+	// means the CM lost the flow and it must be re-opened (paper §3.2's
+	// in-kernel client, surviving the module being reloaded).
+	epoch int64
 }
 
 func newCMCC(e *Endpoint, c *cm.CM) *cmCC {
@@ -164,6 +168,7 @@ func (c *cmCC) window() int {
 	if !c.opened {
 		return 0
 	}
+	c.ensureLive()
 	st, ok := c.cm.Query(c.flow)
 	if !ok {
 		return 0
@@ -179,12 +184,34 @@ func (c *cmCC) onEstablished() {
 	c.flow = c.cm.Open(netsim.ProtoTCP, c.e.local, c.e.remote)
 	c.cm.RegisterSend(c.flow, c.cmappSend)
 	c.opened = true
+	c.epoch = c.cm.Epoch()
 }
 
 func (c *cmCC) onClose() {
 	if c.opened {
-		c.cm.Close(c.flow)
 		c.opened = false
+		if c.cm.Epoch() != c.epoch {
+			// The CM restarted since we opened; the handle is already dead.
+			return
+		}
+		c.cm.Close(c.flow)
+	}
+}
+
+// ensureLive re-opens the flow after a CM restart: the old handle is dead
+// (calls on it count as StaleFlowCalls), grants and requests are forgotten,
+// and congestion state restarts from the initial window. Recovery rides the
+// normal loss path — with the window gone our in-flight data eventually
+// times out, onTimeout reports persistent loss, and trySend re-requests.
+func (c *cmCC) ensureLive() {
+	if !c.opened {
+		return
+	}
+	if e := c.cm.Epoch(); e != c.epoch {
+		c.flow = c.cm.Open(netsim.ProtoTCP, c.e.local, c.e.remote)
+		c.cm.RegisterSend(c.flow, c.cmappSend)
+		c.pendingRequests = 0
+		c.epoch = e
 	}
 }
 
@@ -192,6 +219,7 @@ func (c *cmCC) sharedRTT() (time.Duration, time.Duration, bool) {
 	if !c.opened {
 		return 0, 0, false
 	}
+	c.ensureLive()
 	st, ok := c.cm.Query(c.flow)
 	if !ok {
 		return 0, 0, false
@@ -205,6 +233,7 @@ func (c *cmCC) trySend() {
 	if !c.opened {
 		return
 	}
+	c.ensureLive()
 	if c.e.pendingData() && c.pendingRequests == 0 {
 		c.pendingRequests++
 		c.cm.Request(c.flow)
@@ -234,6 +263,7 @@ func (c *cmCC) onAck(acked int, rtt time.Duration, ecnCE bool) {
 	if !c.opened {
 		return
 	}
+	c.ensureLive()
 	mode := cm.NoLoss
 	if ecnCE {
 		mode = cm.ECNLoss
@@ -245,6 +275,7 @@ func (c *cmCC) onFastRetransmit() {
 	if !c.opened {
 		return
 	}
+	c.ensureLive()
 	// Three duplicate ACKs: a single, congestion-caused packet loss.
 	c.cm.Update(c.flow, c.e.mss(), 0, cm.TransientLoss, 0)
 }
@@ -253,6 +284,7 @@ func (c *cmCC) onDupAckInRecovery() {
 	if !c.opened {
 		return
 	}
+	c.ensureLive()
 	// A duplicate ACK beyond the third means another segment reached the
 	// receiver (paper §3.2: "It therefore calls cm_update()").
 	c.cm.Update(c.flow, c.e.mss(), c.e.mss(), cm.NoLoss, 0)
@@ -264,6 +296,7 @@ func (c *cmCC) onTimeout() {
 	if !c.opened {
 		return
 	}
+	c.ensureLive()
 	// The expiration of the retransmission timer signifies persistent
 	// congestion (CM_LOST_FEEDBACK).
 	c.cm.Update(c.flow, c.e.inFlight(), 0, cm.PersistentLoss, 0)

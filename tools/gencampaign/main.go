@@ -1,6 +1,7 @@
-// Command gencampaign regenerates examples/campaigns/fig3.json from the
-// canonical Go definition in internal/experiments, so the checked-in
-// campaign file can never drift from RunFig3.
+// Command gencampaign regenerates the checked-in campaign files under
+// examples/campaigns from their canonical Go definitions (fig3.json from
+// internal/experiments, churn-soak.json from internal/faults), so the files
+// can never drift from the code that defines them.
 package main
 
 import (
@@ -9,17 +10,24 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
+	"repro/internal/sweep"
 )
 
 func main() {
-	camp := experiments.Fig3Campaign(experiments.Fig3Config{})
-	data, err := json.MarshalIndent(camp, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	files := map[string]sweep.Campaign{
+		"examples/campaigns/fig3.json":       experiments.Fig3Campaign(experiments.Fig3Config{}),
+		"examples/campaigns/churn-soak.json": faults.ChurnSoakCampaign(),
 	}
-	if err := os.WriteFile("examples/campaigns/fig3.json", append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	for path, camp := range files {
+		data, err := json.MarshalIndent(camp, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }
