@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench perf bench-smoke sweep-smoke soak-smoke
+.PHONY: ci vet build test race bench perf bench-smoke sweep-smoke soak-smoke fattree-smoke
 
 ci: vet build race bench
 
@@ -28,12 +28,12 @@ bench:
 perf:
 	$(GO) run ./cmd/cmbench -experiment perf -perfout BENCH_1.json
 
-# Per-PR perf trajectory point: the core-loop + sharded-scenario benchmarks
-# written to BENCH_5.json (CI uploads it as an artifact) and diffed against
-# the newest committed BENCH_*.json — any shared benchmark regressing >25%
-# in ns/op fails the target.
+# Per-PR perf trajectory point: the core-loop + sharded-scenario + fat-tree
+# and 100k-host ISP build benchmarks written to BENCH_6.json (CI uploads it
+# as an artifact) and diffed against the newest committed BENCH_*.json — any
+# shared benchmark regressing >25% in ns/op fails the target.
 bench-smoke:
-	$(GO) run ./cmd/cmbench -experiment perf -pr 5 -perfout BENCH_5.json -compare latest
+	$(GO) run ./cmd/cmbench -experiment perf -pr 6 -perfout BENCH_6.json -compare latest
 
 # Tiny two-axis sweep campaign through the sweep engine: an end-to-end smoke
 # of expansion, the parallel runner, aggregation and the CSV emitter. CI
@@ -53,3 +53,11 @@ sweep-smoke:
 soak-smoke:
 	$(GO) run ./cmd/cmsim -campaign examples/campaigns/churn-soak.json \
 		-parallel 8 -check-invariants -csv > CHURN_SOAK.csv
+
+# Hierarchical-routing smoke: sweep the fat-tree builder's k parameter
+# (param.* axes rebuild the topology per point), exercising suffix-domain
+# routing end to end at two fabric scales. CI uploads FATTREE_SMOKE.csv; the
+# CSV bytes are deterministic per commit.
+fattree-smoke:
+	$(GO) run ./cmd/cmsim -scenario fattree -parallel 4 -replicates 2 \
+		-sweep "param.k=4,6" -csv > FATTREE_SMOKE.csv

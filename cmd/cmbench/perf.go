@@ -55,6 +55,10 @@ func runPerf(path string, pr int, compare string) error {
 		{"cm/round_robin_1k_flows", benchRoundRobin1k},
 		{"scenario/grid64_serial", benchGridSerial},
 		{"scenario/grid64_shards4", benchGridShards4},
+		{"scenario/fattree_k4_run", benchFatTreeRun},
+		{"scenario/fattree_k8_build", benchFatTreeBuildK8},
+		{"scenario/fattree_k16_build", benchFatTreeBuildK16},
+		{"scenario/isp_100k_build", benchISP100kBuild},
 	}
 	snap := perfSnapshot{PR: pr, GoVersion: runtime.Version(), GOARCH: runtime.GOARCH}
 	for _, bench := range benches {
@@ -190,6 +194,60 @@ func benchGrid(b *testing.B, shards int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := scenario.Run(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFatTreeRun runs a k=4 fat-tree end to end under hierarchical routing
+// — cross-pod streams and cross-edge bulk transfers. One op is a whole
+// simulation.
+func benchFatTreeRun(b *testing.B) {
+	spec, err := scenario.FatTree(scenario.FatTreeParams{K: 4, Duration: time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.Run(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchFatTreeBuildK8(b *testing.B)  { benchFatTreeBuild(b, 8) }
+func benchFatTreeBuildK16(b *testing.B) { benchFatTreeBuild(b, 16) }
+
+// benchFatTreeBuild measures topology construction and hierarchical route
+// installation alone (no traffic): the Build path that must stay linear in
+// the node count. B/op is the build's allocation footprint.
+func benchFatTreeBuild(b *testing.B, k int) {
+	spec, err := scenario.FatTree(scenario.FatTreeParams{K: k})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.Build(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchISP100kBuild builds the 100k-host ISP access tree — the
+// internet-scale configuration that exact routing's all-pairs BFS could not
+// even allocate. One op is a full Build.
+func benchISP100kBuild(b *testing.B) {
+	spec, err := scenario.ISP(scenario.ISPParams{Aggs: 16, AccessPerAgg: 25, HostsPerAccess: 250})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.Build(spec); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -11,6 +11,9 @@
 //	cmsim -scenario dumbbell -runs 8 -parallel 8 # replicate for determinism checks
 //	cmsim -scenario dumbbell -json               # machine-readable results
 //	cmsim -scenario grid -shards 4               # shard one simulation across workers
+//	cmsim -scenario fattree -param k=8           # parameterised builder scenarios
+//	cmsim -scenario isp -param aggs=16 -param access=25 -param hosts=250 \
+//	      -buildprofile isp100k                  # profile a 100k-host Build and exit
 //
 // Sweep mode (see docs/SWEEPS.md for the axis and campaign grammar):
 //
@@ -37,6 +40,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -53,8 +58,34 @@ type sweepFlags []string
 func (s *sweepFlags) String() string     { return strings.Join(*s, "; ") }
 func (s *sweepFlags) Set(v string) error { *s = append(*s, v); return nil }
 
+// paramFlags collects repeated -param name=value flags for parameterised
+// scenario builders.
+type paramFlags map[string]float64
+
+func (p paramFlags) String() string {
+	var parts []string
+	for k, v := range p {
+		parts = append(parts, fmt.Sprintf("%s=%v", k, v))
+	}
+	return strings.Join(parts, " ")
+}
+
+func (p paramFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("parameter %q: bad value %q", name, val)
+	}
+	p[name] = v
+	return nil
+}
+
 func main() {
 	var sweeps sweepFlags
+	params := make(paramFlags)
 	var (
 		list     = flag.Bool("list", false, "print the registered scenarios and exit")
 		names    = flag.String("scenario", "", "comma-separated scenario names to run (see -list)")
@@ -79,6 +110,8 @@ func main() {
 		deadline = flag.Duration("deadline", time.Hour, "legacy mode: virtual-time deadline")
 	)
 	flag.Var(&sweeps, "sweep", "sweep mode: one axis as param=values (repeatable): v1,v2,... | min:max:steps | log:min:max:steps")
+	flag.Var(params, "param", "builder parameter for a parameterised -scenario as name=value (repeatable), e.g. -scenario fattree -param k=8")
+	buildProfile := flag.String("buildprofile", "", "build the -scenario topology under profiling, write <prefix>.cpu.pprof and <prefix>.heap.pprof, report build time, and exit without running")
 	flag.Parse()
 
 	if *list {
@@ -88,10 +121,18 @@ func main() {
 		return
 	}
 
+	if *buildProfile != "" {
+		if err := profileBuild(*buildProfile, *names, params, *shards); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
+
 	if *campaign != "" || len(sweeps) > 0 {
 		set := make(map[string]bool)
 		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-		if err := runCampaign(*campaign, sweeps, *names, *replicates, *shards, *parallel, *jsonOut, *csvOut, *checkInv, set); err != nil {
+		if err := runCampaign(*campaign, sweeps, *names, params, *replicates, *shards, *parallel, *jsonOut, *csvOut, *checkInv, set); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
@@ -105,7 +146,7 @@ func main() {
 	if *names != "" {
 		for _, name := range strings.Split(*names, ",") {
 			name = strings.TrimSpace(name)
-			spec, err := scenario.Lookup(name)
+			spec, err := scenario.LookupParams(name, params)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(2)
@@ -178,7 +219,7 @@ func reportViolations(violations []faults.Violation) bool {
 // one assembled from -scenario plus repeated -sweep axes. With -campaign,
 // explicitly passed -replicates/-shards override the file's values; a
 // -scenario alongside -campaign is rejected rather than silently ignored.
-func runCampaign(file string, sweeps []string, names string, replicates, shards, parallel int, jsonOut, csvOut, checkInv bool, set map[string]bool) error {
+func runCampaign(file string, sweeps []string, names string, params map[string]float64, replicates, shards, parallel int, jsonOut, csvOut, checkInv bool, set map[string]bool) error {
 	var camp sweep.Campaign
 	switch {
 	case file != "" && len(sweeps) > 0:
@@ -186,6 +227,9 @@ func runCampaign(file string, sweeps []string, names string, replicates, shards,
 	case file != "":
 		if set["scenario"] {
 			return fmt.Errorf("-campaign and -scenario are mutually exclusive (the campaign file names its base)")
+		}
+		if len(params) > 0 {
+			return fmt.Errorf("-campaign and -param are mutually exclusive (the campaign file carries its params)")
 		}
 		data, err := os.ReadFile(file)
 		if err != nil {
@@ -204,7 +248,7 @@ func runCampaign(file string, sweeps []string, names string, replicates, shards,
 		if names == "" || strings.Contains(names, ",") {
 			return fmt.Errorf("-sweep needs exactly one base -scenario")
 		}
-		camp = sweep.Campaign{Name: names, Scenario: names, Replicates: replicates, Shards: shards}
+		camp = sweep.Campaign{Name: names, Scenario: names, Params: params, Replicates: replicates, Shards: shards}
 		for _, s := range sweeps {
 			axis, err := parseSweepAxis(s)
 			if err != nil {
@@ -232,6 +276,57 @@ func runCampaign(file string, sweeps []string, names string, replicates, shards,
 	if checkInv && reportViolations(faults.CheckCampaign(res)) {
 		return fmt.Errorf("campaign %s failed invariant checking", camp.Name)
 	}
+	return nil
+}
+
+// profileBuild builds one scenario's topology with CPU and heap profiling
+// around scenario.Build only — no traffic runs — so the profiles isolate
+// topology construction and route installation. It writes <prefix>.cpu.pprof
+// and <prefix>.heap.pprof and reports wall-clock build time and heap use.
+func profileBuild(prefix, name string, params map[string]float64, shards int) error {
+	if name == "" || strings.Contains(name, ",") {
+		return fmt.Errorf("-buildprofile needs exactly one -scenario")
+	}
+	spec, err := scenario.LookupParams(name, params)
+	if err != nil {
+		return err
+	}
+	spec.Shards = shards
+	cpu, err := os.Create(prefix + ".cpu.pprof")
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return err
+	}
+	start := time.Now()
+	sim, err := scenario.Build(spec)
+	elapsed := time.Since(start)
+	pprof.StopCPUProfile()
+	if cerr := cpu.Close(); cerr != nil {
+		return cerr
+	}
+	if err != nil {
+		return err
+	}
+	heap, err := os.Create(prefix + ".heap.pprof")
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(heap); err != nil {
+		heap.Close()
+		return err
+	}
+	if err := heap.Close(); err != nil {
+		return err
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Printf("built %s: %d nodes, %d links in %v (heap in use %d MB)\n",
+		spec.Name, len(sim.Nodes()), len(spec.Links), elapsed.Round(time.Millisecond), ms.HeapInuse>>20)
+	fmt.Printf("profiles: %s.cpu.pprof %s.heap.pprof (go tool pprof <file>)\n", prefix, prefix)
 	return nil
 }
 
@@ -375,8 +470,8 @@ func printResult(o scenario.RunOutcome) {
 		if !h.Router {
 			continue
 		}
-		fmt.Printf("  router %s: forwarded=%d (%dB) route-miss=%d ttl-expired=%d\n",
-			h.Name, h.ForwardedPackets, h.ForwardedBytes, h.RouteMissDrops, h.TTLExpiredDrops)
+		fmt.Printf("  router %s: forwarded=%d (%dB) forward-miss=%d route-miss=%d ttl-expired=%d\n",
+			h.Name, h.ForwardedPackets, h.ForwardedBytes, h.ForwardMissDrops, h.RouteMissDrops, h.TTLExpiredDrops)
 	}
 	for _, c := range r.CMs {
 		fmt.Printf("  cm %s: %d macroflow(s), %d flows, %d grants, %d updates, %d notifies, %d queries\n",

@@ -80,8 +80,8 @@ func (l *Link) geStep() bool {
 		l.stats.GEGoodPackets++
 		lossP, transP = g.LossGood, g.PGoodBad
 	}
-	drop := lossP > 0 && l.rng.Float64() < lossP
-	if g.Tick <= 0 && transP > 0 && l.rng.Float64() < transP {
+	drop := lossP > 0 && l.random().Float64() < lossP
+	if g.Tick <= 0 && transP > 0 && l.random().Float64() < transP {
 		l.geBad = !l.geBad
 		l.stats.GETransitions++
 	}

@@ -126,7 +126,12 @@ type Link struct {
 	sched *simtime.Scheduler
 	dst   Receiver
 	queue *Queue
-	rng   *rand.Rand
+	// rng is the link's private random source for loss/reorder/duplicate
+	// draws, created lazily by random(): a rand.Rand source is ~5 KB, and in
+	// an internet-scale topology almost every link is lossless and never
+	// draws. Laziness is invisible to determinism — the seed is fixed at
+	// construction, so the stream is identical whenever it is first used.
+	rng *rand.Rand
 
 	// gilbert is the installed bursty-loss model (nil = disabled); geBad is
 	// its current state. geTickGen numbers time-driven installations so a
@@ -178,10 +183,6 @@ func NewLink(sched *simtime.Scheduler, cfg LinkConfig, dst Receiver) *Link {
 	if qp == 0 && qb == 0 {
 		qp = 100
 	}
-	seed := cfg.Seed
-	if seed == 0 {
-		seed = 1
-	}
 	q := NewQueue(qp, qb, DropTail)
 	if cfg.ECNThresholdPackets > 0 {
 		q.SetECNThreshold(cfg.ECNThresholdPackets)
@@ -191,7 +192,6 @@ func NewLink(sched *simtime.Scheduler, cfg LinkConfig, dst Receiver) *Link {
 		sched: sched,
 		dst:   dst,
 		queue: q,
-		rng:   rand.New(rand.NewSource(seed)),
 	}
 	if cfg.Gilbert != nil {
 		g := cfg.Gilbert.withDefaults()
@@ -206,6 +206,19 @@ func NewLink(sched *simtime.Scheduler, cfg LinkConfig, dst Receiver) *Link {
 	}
 	l.handUpArg = func(x any) { l.handUp(x.(*Packet)) }
 	return l
+}
+
+// random returns the link's private random source, creating it on first use
+// from the construction-time seed.
+func (l *Link) random() *rand.Rand {
+	if l.rng == nil {
+		seed := l.cfg.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		l.rng = rand.New(rand.NewSource(seed))
+	}
+	return l.rng
 }
 
 // SetDestination points the link at a new receiver.
@@ -339,7 +352,7 @@ func (l *Link) Send(pkt *Packet) bool {
 		pkt.Release()
 		return false
 	}
-	if l.cfg.LossRate > 0 && l.rng.Float64() < l.cfg.LossRate {
+	if l.cfg.LossRate > 0 && l.random().Float64() < l.cfg.LossRate {
 		l.stats.RandomDrops++
 		l.stats.BernoulliDrops++
 		if l.dropTap != nil {
@@ -395,7 +408,7 @@ func (l *Link) deliver(pkt *Packet) {
 	// still deliver a later packet before an earlier one — two packets really
 	// are in flight on different-length paths, as after a route change.)
 	delay := l.txDelay
-	if l.cfg.ReorderRate > 0 && l.rng.Float64() < l.cfg.ReorderRate {
+	if l.cfg.ReorderRate > 0 && l.random().Float64() < l.cfg.ReorderRate {
 		extra := l.cfg.ReorderDelay
 		if extra <= 0 {
 			extra = 4 * l.cfg.Bandwidth.TransmitTime(pkt.Size)
@@ -407,7 +420,7 @@ func (l *Link) deliver(pkt *Packet) {
 		l.stats.Reordered++
 	}
 	var dup *Packet
-	if l.cfg.DuplicateRate > 0 && l.rng.Float64() < l.cfg.DuplicateRate {
+	if l.cfg.DuplicateRate > 0 && l.random().Float64() < l.cfg.DuplicateRate {
 		// The clone must be taken before the original is handed up: the
 		// receiver may release the original back to the pool.
 		dup = pkt.Clone()

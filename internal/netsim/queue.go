@@ -46,9 +46,11 @@ type QueueStats struct {
 // Limits may be expressed in packets, bytes, or both; a zero limit means
 // "unlimited" in that dimension, but at least one limit must be set.
 //
-// The buffer is a preallocated ring: enqueue and dequeue are O(1) and
-// allocation-free in steady state (packet-limited queues never reallocate;
-// byte-limited queues grow by doubling until their working depth is reached).
+// The buffer is a ring: enqueue and dequeue are O(1) and allocation-free in
+// steady state. The ring starts at the packet limit or 16 slots, whichever
+// is smaller, and grows by doubling (capped at the packet limit) until the
+// working depth is reached — an idle link in a 100k-host topology costs a
+// few pointers, not its full configured buffer.
 type Queue struct {
 	limitPackets int
 	limitBytes   int
@@ -77,9 +79,10 @@ func NewQueue(limitPackets, limitBytes int, policy DropPolicy) *Queue {
 		panic("netsim: queue needs at least one limit")
 	}
 	cap := limitPackets
-	if cap == 0 {
-		// Byte-limited only: start small and grow on demand.
-		cap = 64
+	if cap == 0 || cap > 16 {
+		// Unbounded packet count (byte-limited only) or a deep buffer: start
+		// small and grow on demand.
+		cap = 16
 	}
 	return &Queue{
 		limitPackets: limitPackets,
@@ -132,11 +135,16 @@ func (q *Queue) popHead() *Packet {
 	return p
 }
 
-// pushTail appends the packet, growing the ring if it is full (only possible
-// for byte-limited queues, whose packet count is unbounded).
+// pushTail appends the packet, growing the ring if it is full. Growth is
+// amortised doubling, capped at the packet limit for packet-limited queues
+// (wouldOverflow guarantees count never exceeds it).
 func (q *Queue) pushTail(p *Packet) {
 	if q.count == len(q.buf) {
-		grown := make([]*Packet, 2*len(q.buf))
+		newCap := 2 * len(q.buf)
+		if q.limitPackets > 0 && newCap > q.limitPackets {
+			newCap = q.limitPackets
+		}
+		grown := make([]*Packet, newCap)
 		n := copy(grown, q.buf[q.head:])
 		copy(grown[n:], q.buf[:q.head])
 		q.buf = grown

@@ -7,6 +7,7 @@ package node
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/netsim"
@@ -50,10 +51,16 @@ type HostStats struct {
 	ForwardedPackets int
 	ForwardedBytes   int64
 	NoRouteDrops     int
-	// RouteMissDrops counts transit packets discarded because the forwarding
-	// table had no entry (and no default route) for the destination, or
-	// because the packet reached a host that does not forward at all.
+	// RouteMissDrops counts transit packets that arrived at a host that does
+	// not forward at all — a leaf that received traffic addressed elsewhere
+	// (stale routes after a topology change, or a moved host's old address).
 	RouteMissDrops int
+	// ForwardMissDrops counts transit packets discarded by a forwarding
+	// router whose table had no entry (and no default route) for the
+	// destination. Interior-router misses point at the routing computation;
+	// leaf drops (RouteMissDrops) point at stale senders — the two failure
+	// modes are diagnosed differently, so they are counted apart.
+	ForwardMissDrops int
 	// TTLExpiredDrops counts transit packets discarded because their hop
 	// budget reached zero, the symptom of a routing loop.
 	TTLExpiredDrops  int
@@ -67,9 +74,14 @@ type HostStats struct {
 // forwarding enabled doubles as a router: packets arriving for other
 // destinations are relayed hop-by-hop through the routing table.
 type Host struct {
-	name       string
-	sched      *simtime.Scheduler
-	routes     map[string]*netsim.Link
+	name   string
+	sched  *simtime.Scheduler
+	routes map[string]*netsim.Link
+	// domains routes whole name-suffix subtrees: a packet for "h3.e1.p2"
+	// with no exact route matches the longest dotted suffix present
+	// ("e1.p2", then "p2"). Hierarchical routing uses it to give interior
+	// routers O(children) tables instead of O(V); nil for exact-routed hosts.
+	domains    map[string]*netsim.Link
 	def        *netsim.Link
 	bindings   map[bindingKey]Handler
 	notifier   TransmitNotifier
@@ -170,10 +182,60 @@ func (h *Host) InstallRoutes(routes map[string]*netsim.Link) int {
 	return changed
 }
 
-// RouteTo returns the link used to reach dstHost, or nil if unroutable.
+// DeleteRoute removes the explicit route to dstHost (the default route is
+// untouched). It exists for tests that need to carve a hole in a wired
+// topology; the simulation proper replaces tables wholesale with
+// InstallRoutes / InstallHierRoutes.
+func (h *Host) DeleteRoute(dstHost string) { delete(h.routes, dstHost) }
+
+// InstallHierRoutes atomically replaces the host's entire routing state —
+// exact table, domain (name-suffix) table and default route — with the given
+// maps, returning the number of entries that changed (a default-route change
+// counts as one). It is the hierarchical-routing counterpart of
+// InstallRoutes; either map may be nil for empty. The caller must not retain
+// the maps.
+func (h *Host) InstallHierRoutes(routes, domains map[string]*netsim.Link, def *netsim.Link) int {
+	changed := h.InstallRoutes(routes)
+	if domains == nil {
+		domains = make(map[string]*netsim.Link)
+	}
+	for d, l := range domains {
+		if old, ok := h.domains[d]; !ok || old != l {
+			changed++
+		}
+	}
+	for d := range h.domains {
+		if _, ok := domains[d]; !ok {
+			changed++
+		}
+	}
+	h.domains = domains
+	if h.def != def {
+		h.def = def
+		changed++
+	}
+	return changed
+}
+
+// RouteTo returns the link used to reach dstHost, or nil if unroutable. The
+// lookup tries an exact match, then the longest dotted name-suffix in the
+// domain table, then the default route.
 func (h *Host) RouteTo(dstHost string) *netsim.Link {
 	if l, ok := h.routes[dstHost]; ok {
 		return l
+	}
+	if len(h.domains) > 0 {
+		rest := dstHost
+		for {
+			dot := strings.IndexByte(rest, '.')
+			if dot < 0 {
+				break
+			}
+			rest = rest[dot+1:]
+			if l, ok := h.domains[rest]; ok {
+				return l
+			}
+		}
 	}
 	return h.def
 }
@@ -306,7 +368,7 @@ func (h *Host) forward(pkt *netsim.Packet) {
 	}
 	link := h.RouteTo(pkt.Dst.Host)
 	if link == nil {
-		h.stats.RouteMissDrops++
+		h.stats.ForwardMissDrops++
 		pkt.Release()
 		return
 	}

@@ -323,8 +323,11 @@ func TestForwardingRouteMissCounted(t *testing.T) {
 	net.Host("a").AddRoute("ghost", ar)
 	net.Host("a").Output(&netsim.Packet{Proto: netsim.ProtoUDP, Dst: netsim.Addr{Host: "ghost", Port: 1}, Size: 10})
 	s.Run()
-	if d := net.Host("r").Stats().RouteMissDrops; d != 1 {
-		t.Fatalf("RouteMissDrops = %d, want 1", d)
+	if d := net.Host("r").Stats().ForwardMissDrops; d != 1 {
+		t.Fatalf("ForwardMissDrops = %d, want 1", d)
+	}
+	if d := net.Host("r").Stats().RouteMissDrops; d != 0 {
+		t.Fatalf("a router's table miss must not count as a leaf drop, got RouteMissDrops = %d", d)
 	}
 }
 
@@ -341,13 +344,13 @@ func TestForwardingDefaultRouteFallback(t *testing.T) {
 	net.Host("c").Bind(netsim.ProtoUDP, 5, HandlerFunc(func(p *netsim.Packet) { got++ }))
 	// Delete r's explicit route to c installed by ConnectDuplex so the
 	// default route is what carries the packet.
-	delete(net.Host("r").routes, "c")
+	net.Host("r").DeleteRoute("c")
 	net.Host("a").Output(&netsim.Packet{Proto: netsim.ProtoUDP, Dst: netsim.Addr{Host: "c", Port: 5}, Size: 10})
 	s.Run()
 	if got != 1 {
 		t.Fatal("packet should reach c via the router's default route")
 	}
-	if d := net.Host("r").Stats().RouteMissDrops; d != 0 {
+	if d := net.Host("r").Stats().ForwardMissDrops; d != 0 {
 		t.Fatalf("default-route fallback must not count a route miss, got %d", d)
 	}
 }
@@ -426,5 +429,74 @@ func TestInstallRoutesAtomicSwap(t *testing.T) {
 	h.Output(&netsim.Packet{Proto: netsim.ProtoUDP, Dst: netsim.Addr{Host: "b", Port: 1}, Size: 10})
 	if drops := h.Stats().NoRouteDrops; drops != 1 {
 		t.Fatalf("NoRouteDrops = %d, want 1", drops)
+	}
+}
+
+// TestDomainRouteSuffixMatch checks the hierarchical lookup order: exact
+// match first, then the longest dotted name-suffix in the domain table, then
+// the default route.
+func TestDomainRouteSuffixMatch(t *testing.T) {
+	s := simtime.NewScheduler()
+	net := NewNetwork(s)
+	d1 := net.ConnectDuplex("r", "edge", lanCfg())
+	d2 := net.ConnectDuplex("r", "pod", lanCfg())
+	d3 := net.ConnectDuplex("r", "up", lanCfg())
+	h := net.Host("r")
+	h.InstallHierRoutes(
+		map[string]*netsim.Link{"h9.e1.p2": d3.Forward},
+		map[string]*netsim.Link{"e1.p2": d1.Forward, "p2": d2.Forward},
+		d3.Forward,
+	)
+	cases := []struct {
+		dst  string
+		want *netsim.Link
+	}{
+		{"h9.e1.p2", d3.Forward}, // exact beats the e1.p2 domain
+		{"h3.e1.p2", d1.Forward}, // longest suffix e1.p2 beats p2
+		{"h3.e7.p2", d2.Forward}, // only p2 matches
+		{"h3.e7.p9", d3.Forward}, // no suffix matches: default route
+		{"p2", d3.Forward},       // a domain never matches the bare name
+	}
+	for _, c := range cases {
+		if got := h.RouteTo(c.dst); got != c.want {
+			t.Errorf("RouteTo(%q) = %v, want %v", c.dst, got, c.want)
+		}
+	}
+}
+
+// TestInstallHierRoutesCountsChanges pins the changed-entry accounting across
+// the exact table, the domain table and the default route.
+func TestInstallHierRoutesCountsChanges(t *testing.T) {
+	s := simtime.NewScheduler()
+	net := NewNetwork(s)
+	d1 := net.ConnectDuplex("r", "a", lanCfg())
+	d2 := net.ConnectDuplex("r", "b", lanCfg())
+	h := net.Host("r")
+	// ConnectDuplex installed exact routes {a, b}; replacing them with one
+	// exact entry, two domains and a default counts every delta.
+	changed := h.InstallHierRoutes(
+		map[string]*netsim.Link{"a": d1.Forward},
+		map[string]*netsim.Link{"p1": d1.Forward, "p2": d2.Forward},
+		d2.Forward,
+	)
+	// b removed (1) + p1, p2 added (2) + default set (1) = 4.
+	if changed != 4 {
+		t.Fatalf("changed = %d, want 4", changed)
+	}
+	// Idempotent reinstall changes nothing.
+	if changed := h.InstallHierRoutes(
+		map[string]*netsim.Link{"a": d1.Forward},
+		map[string]*netsim.Link{"p1": d1.Forward, "p2": d2.Forward},
+		d2.Forward,
+	); changed != 0 {
+		t.Fatalf("idempotent install changed %d entries", changed)
+	}
+	// Repointing one domain and dropping the default counts 2.
+	if changed := h.InstallHierRoutes(
+		map[string]*netsim.Link{"a": d1.Forward},
+		map[string]*netsim.Link{"p1": d2.Forward, "p2": d2.Forward},
+		nil,
+	); changed != 2 {
+		t.Fatalf("changed = %d, want 2 (p1 repointed, default cleared)", changed)
 	}
 }

@@ -32,12 +32,10 @@ type Sim struct {
 	// every libcm instance of that host), driven by set-notify-faults events.
 	injectors map[string]*libcm.Injector
 
-	// linkFrom[a][b] is the directional link a->b; neighbors[a] lists a's
-	// adjacent nodes in first-mention order. Both are retained after Build so
+	// routing is the interned-topology route engine, retained after Build so
 	// the dynamics timeline can recompute routes when links fail or recover.
-	linkFrom  map[string]map[string]*netsim.Link
-	neighbors map[string][]string
-	timeline  *dynamics.Timeline
+	routing  *routeEngine
+	timeline *dynamics.Timeline
 
 	// shard is the sharded-execution coordinator, nil for a serial build
 	// (Spec.Shards <= 1, a degenerate partition, or zero lookahead). When
@@ -109,19 +107,22 @@ func Build(spec Spec) (*Sim, error) {
 	for _, r := range spec.Routers {
 		nw.Router(r)
 	}
-	// The first link between a pair wins; parallel links would make next-hop
-	// routing ambiguous.
-	sim.linkFrom = make(map[string]map[string]*netsim.Link)
-	sim.neighbors = make(map[string][]string)
+	// Directional edges accumulate in insertion order for the route engine's
+	// interned adjacency. Parallel links between a pair would make next-hop
+	// routing ambiguous, so duplicates are rejected.
+	id := make(map[string]int, len(sim.nodeNames))
+	for i, name := range sim.nodeNames {
+		id[name] = i
+	}
+	edges := make([]dirEdge, 0, 2*len(spec.Links))
+	wired := make(map[[2]int32]bool, 2*len(spec.Links))
 	direction := func(from, to string, l *netsim.Link) error {
-		if sim.linkFrom[from] == nil {
-			sim.linkFrom[from] = make(map[string]*netsim.Link)
-		}
-		if _, dup := sim.linkFrom[from][to]; dup {
+		f, t := int32(id[from]), int32(id[to])
+		if wired[[2]int32{f, t}] {
 			return fmt.Errorf("scenario %q: duplicate link %s-%s", spec.Name, from, to)
 		}
-		sim.linkFrom[from][to] = l
-		sim.neighbors[from] = append(sim.neighbors[from], to)
+		wired[[2]int32{f, t}] = true
+		edges = append(edges, dirEdge{from: f, to: t, link: l})
 		return nil
 	}
 	// Links with Seed zero get derived seeds. Each duplex consumes two seeds
@@ -147,8 +148,6 @@ func Build(spec Spec) (*Sim, error) {
 		return s
 	}
 	for _, ls := range spec.Links {
-		addNode(ls.A)
-		addNode(ls.B)
 		cfg := ls.LinkConfig
 		if cfg.Name == "" {
 			cfg.Name = ls.A + "<->" + ls.B
@@ -178,6 +177,15 @@ func Build(spec Spec) (*Sim, error) {
 		}
 	}
 
+	hosts := make([]*node.Host, len(sim.nodeNames))
+	for i, name := range sim.nodeNames {
+		hosts[i] = nw.Host(name)
+	}
+	eng, err := newRouteEngine(&sim.Spec, sim.nodeNames, hosts, edges)
+	if err != nil {
+		return nil, err
+	}
+	sim.routing = eng
 	sim.recomputeRoutes()
 
 	cmHosts := append([]string(nil), spec.CMHosts...)
@@ -427,56 +435,16 @@ func MustBuild(spec Spec) *Sim {
 	return sim
 }
 
-// routesFrom runs a breadth-first search from src over the link adjacency,
-// skipping links that are down, and returns the destination->next-hop-link
-// table. Ties are broken by first-mention order, so tables are deterministic.
-func (s *Sim) routesFrom(src string) map[string]*netsim.Link {
-	// parent[v] is v's predecessor on the shortest path from src.
-	parent := map[string]string{src: src}
-	queue := []string{src}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, v := range s.neighbors[u] {
-			if s.linkFrom[u][v].IsDown() {
-				continue
-			}
-			if _, ok := parent[v]; !ok {
-				parent[v] = u
-				queue = append(queue, v)
-			}
-		}
-	}
-	table := make(map[string]*netsim.Link)
-	for _, dst := range s.nodeNames {
-		if dst == src {
-			continue
-		}
-		if _, ok := parent[dst]; !ok {
-			continue // unreachable; Output will count a NoRouteDrop
-		}
-		// Walk back from dst to find src's next hop.
-		hop := dst
-		for parent[hop] != src {
-			hop = parent[hop]
-		}
-		table[dst] = s.linkFrom[src][hop]
-	}
-	return table
-}
-
-// recomputeRoutes rebuilds every node's routing table around the current link
-// up/down state and installs the new tables atomically, returning the total
-// number of changed entries. Build uses it for the initial installation; the
-// dynamics timeline calls it on link up/down, where packets already in flight
-// toward a withdrawn route are dropped at the next hop and counted as
-// route-miss (or no-route) drops.
+// recomputeRoutes rebuilds routing around the current link up/down state and
+// installs the new tables atomically, returning the total number of changed
+// entries. Build uses it for the initial installation; the dynamics timeline
+// calls it on link up/down, where packets already in flight toward a
+// withdrawn route are dropped at the next hop and counted as route-miss (or
+// no-route) drops. After the initial installation the route engine works
+// incrementally — it touches only the state a flipped link can affect while
+// reporting exactly the changed-entry count a full recompute would.
 func (s *Sim) recomputeRoutes() int {
-	changed := 0
-	for _, src := range s.nodeNames {
-		changed += s.net.Host(src).InstallRoutes(s.routesFrom(src))
-	}
-	return changed
+	return s.routing.recompute()
 }
 
 // Scheduler returns the simulation's private scheduler, or nil for a sharded

@@ -77,7 +77,7 @@ func TestFlakyDumbbellMacroflowCollapseAndReprobe(t *testing.T) {
 	// die as no-route drops at the senders.
 	var missDrops int
 	for _, h := range res.Hosts {
-		missDrops += h.RouteMissDrops + h.NoRouteDrops
+		missDrops += h.RouteMissDrops + h.ForwardMissDrops + h.NoRouteDrops
 	}
 	if missDrops == 0 {
 		t.Fatal("no route-miss/no-route drops recorded across the outage")

@@ -1,0 +1,46 @@
+package scenario
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkFatTreeBuild measures topology construction plus hierarchical
+// route installation (no traffic) for k=4/8/16 fat-trees. Hier routing keeps
+// this linear in the node count — B/op is the allocation footprint the
+// routing engine and queue rings cost at each scale.
+func BenchmarkFatTreeBuild(b *testing.B) {
+	for _, k := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("k-%d", k), func(b *testing.B) {
+			spec, err := FatTree(FatTreeParams{K: k})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFatTreeRun runs the k=4 fat-tree end to end: cross-pod streams
+// and staggered intra-pod bulk transfers over suffix-domain routing. One op
+// is a whole simulation.
+func BenchmarkFatTreeRun(b *testing.B) {
+	spec, err := FatTree(FatTreeParams{K: 4, Duration: time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -9,6 +9,11 @@ import (
 // registered so each lookup returns a fresh, unshared Spec.
 var registry = map[string]func() Spec{}
 
+// paramRegistry maps the names of parameterised scenarios to their
+// name=value factories. Every parameterised scenario also appears in
+// registry (with defaults), so List/Describe/Lookup see one catalogue.
+var paramRegistry = map[string]func(map[string]float64) (Spec, error){}
+
 // Register adds a named scenario factory. It panics on duplicate names so
 // registration mistakes surface at init time.
 func Register(name string, factory func() Spec) {
@@ -21,6 +26,25 @@ func Register(name string, factory func() Spec) {
 	registry[name] = factory
 }
 
+// RegisterParams adds a named parameterised scenario: the factory receives a
+// name=value map (from cmsim -param flags or sweep param.* axes) and builds
+// the spec, erroring on unknown names or invalid values. The scenario also
+// registers plainly with its defaults (a nil map), so it lists and looks up
+// like any other.
+func RegisterParams(name string, factory func(map[string]float64) (Spec, error)) {
+	if factory == nil {
+		panic("scenario: RegisterParams requires a factory")
+	}
+	Register(name, func() Spec {
+		spec, err := factory(nil)
+		if err != nil {
+			panic(fmt.Sprintf("scenario: %q defaults invalid: %v", name, err))
+		}
+		return spec
+	})
+	paramRegistry[name] = factory
+}
+
 // Lookup returns a fresh spec for the named scenario.
 func Lookup(name string) (Spec, error) {
 	f, ok := registry[name]
@@ -30,6 +54,24 @@ func Lookup(name string) (Spec, error) {
 	spec := f()
 	spec.Name = name
 	return spec, nil
+}
+
+// LookupParams returns a fresh spec for the named scenario built with the
+// given parameters. A nil or empty map yields the defaults; parameters on a
+// scenario that takes none are an error.
+func LookupParams(name string, params map[string]float64) (Spec, error) {
+	if f, ok := paramRegistry[name]; ok {
+		spec, err := f(params)
+		if err != nil {
+			return Spec{}, fmt.Errorf("scenario %q: %w", name, err)
+		}
+		spec.Name = name
+		return spec, nil
+	}
+	if len(params) > 0 {
+		return Spec{}, fmt.Errorf("scenario %q takes no parameters", name)
+	}
+	return Lookup(name)
 }
 
 // List returns the registered scenario names in sorted order.
@@ -87,4 +129,6 @@ func init() {
 	Register("churn", func() Spec {
 		return Churn(ChurnParams{})
 	})
+	RegisterParams("fattree", fatTreeFromParams)
+	RegisterParams("isp", ispFromParams)
 }

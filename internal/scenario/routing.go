@@ -1,0 +1,402 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/node"
+)
+
+// routeEngine owns all routing computation for a built simulation. It interns
+// node names once at Build and works on flat integer-indexed state from then
+// on: a CSR adjacency (offsets, targets, links) in first-mention order, a
+// per-entry down-state mirror, and — in exact mode — a per-source distance
+// matrix that lets a link event recompute only the sources it can affect.
+//
+// Two modes share the engine:
+//
+//   - Exact (the default, Spec.Routing empty or "exact"): every host gets a
+//     full destination→next-hop table from a deterministic BFS, bit-for-bit
+//     identical to the original map-based implementation (ties break by
+//     first-mention order). Link events update incrementally while the node
+//     count stays within incrementalRouteLimit, falling back to a full
+//     recompute above it.
+//   - Hierarchical (Spec.Routing == RoutingHier): for tree-like topologies,
+//     levels are measured from Spec.HierRoots and each node's table holds
+//     only its children — an exact entry per child, a name-suffix domain
+//     entry per child router — plus a default route up. Table memory is
+//     O(children) per node and a link event rebuilds only the endpoints of
+//     the flipped links, which is what makes 100k-host specs buildable.
+//
+// In both modes the changed-entry count returned by recompute matches what a
+// from-scratch recompute would have reported: untouched tables contribute
+// zero by definition, and touched ones are diffed by InstallRoutes /
+// InstallHierRoutes.
+type routeEngine struct {
+	n       int
+	names   []string
+	hosts   []*node.Host
+	hier    bool
+	domains []string // per node: the name-suffix domain it covers downward
+
+	// CSR adjacency in first-mention order. downMirror[k] is the last
+	// observed IsDown state of adjLink[k]; recompute diffs it against the
+	// live links, so flips reach the engine without any event plumbing
+	// (batched flips from a host move look the same as a single link event).
+	adjOff     []int32
+	adjFrom    []int32
+	adjTo      []int32
+	adjLink    []*netsim.Link
+	downMirror []bool
+
+	isRouter []bool
+
+	// level[v] is the hop distance from the nearest hierarchy root
+	// (hier mode only), computed once over the static topology.
+	level []int32
+
+	// dist[s*n+v] is the hop count from s to v (-1 unreachable), maintained
+	// in exact mode while n <= incrementalRouteLimit; nil otherwise.
+	dist []int32
+
+	// BFS scratch, sized n.
+	queue    []int32
+	firstHop []int32
+	distRow  []int32
+	affected []bool
+
+	installed bool
+}
+
+// incrementalRouteLimit bounds the exact-mode distance matrix (n² int32).
+// Every canned exact-routing scenario is far below it; a larger exact
+// topology recomputes fully per event, and internet-scale specs use
+// hierarchical routing, whose incremental path needs no matrix at all.
+const incrementalRouteLimit = 1024
+
+// dirEdge is one directional link in Build insertion order.
+type dirEdge struct {
+	from, to int32
+	link     *netsim.Link
+}
+
+// newRouteEngine interns the topology. Nodes and edges arrive in
+// first-mention order (the order the old map-based router iterated in);
+// hierRoots/domainOf are empty for exact mode.
+func newRouteEngine(spec *Spec, names []string, hosts []*node.Host, edges []dirEdge) (*routeEngine, error) {
+	n := len(names)
+	e := &routeEngine{
+		n:        n,
+		names:    names,
+		hosts:    hosts,
+		hier:     spec.Routing == RoutingHier,
+		adjOff:   make([]int32, n+1),
+		adjFrom:  make([]int32, len(edges)),
+		adjTo:    make([]int32, len(edges)),
+		adjLink:  make([]*netsim.Link, len(edges)),
+		isRouter: make([]bool, n),
+		queue:    make([]int32, 0, n),
+		firstHop: make([]int32, n),
+		distRow:  make([]int32, n),
+		affected: make([]bool, n),
+	}
+	// Counting sort of the edge list into CSR keeps each node's adjacency in
+	// edge insertion order — exactly the old neighbors-map iteration order.
+	for _, ed := range edges {
+		e.adjOff[ed.from+1]++
+	}
+	for v := 0; v < n; v++ {
+		e.adjOff[v+1] += e.adjOff[v]
+	}
+	next := append([]int32(nil), e.adjOff[:n]...)
+	for _, ed := range edges {
+		k := next[ed.from]
+		next[ed.from]++
+		e.adjFrom[k] = ed.from
+		e.adjTo[k] = ed.to
+		e.adjLink[k] = ed.link
+	}
+	e.downMirror = make([]bool, len(edges))
+	for i := range hosts {
+		e.isRouter[i] = hosts[i].Forwarding()
+	}
+	if e.hier {
+		id := make(map[string]int, n)
+		for i, name := range names {
+			id[name] = i
+		}
+		e.domains = make([]string, n)
+		for i, name := range names {
+			if d, ok := spec.Domains[name]; ok {
+				e.domains[i] = d
+			} else {
+				e.domains[i] = name
+			}
+		}
+		if err := e.computeLevels(spec, id); err != nil {
+			return nil, err
+		}
+	} else if n <= incrementalRouteLimit {
+		e.dist = make([]int32, n*n)
+	}
+	return e, nil
+}
+
+// computeLevels runs the multi-source BFS from the hierarchy roots over the
+// static topology (down links still count: an outage changes reachability,
+// not the shape of the hierarchy) and checks the tree-likeness hier routing
+// relies on: every node is placed, and every link joins adjacent levels.
+func (e *routeEngine) computeLevels(spec *Spec, id map[string]int) error {
+	e.level = make([]int32, e.n)
+	for i := range e.level {
+		e.level[i] = -1
+	}
+	q := e.queue[:0]
+	for _, r := range spec.HierRoots {
+		v, ok := id[r]
+		if !ok {
+			return fmt.Errorf("scenario %q: hier root %q not in topology", spec.Name, r)
+		}
+		if !e.isRouter[v] {
+			return fmt.Errorf("scenario %q: hier root %q is not a router", spec.Name, r)
+		}
+		if e.level[v] != 0 {
+			e.level[v] = 0
+			q = append(q, int32(v))
+		}
+	}
+	if len(q) == 0 {
+		return fmt.Errorf("scenario %q: hier routing needs at least one root (Spec.HierRoots)", spec.Name)
+	}
+	for qi := 0; qi < len(q); qi++ {
+		u := q[qi]
+		for k := e.adjOff[u]; k < e.adjOff[u+1]; k++ {
+			v := e.adjTo[k]
+			if e.level[v] < 0 {
+				e.level[v] = e.level[u] + 1
+				q = append(q, v)
+			}
+		}
+	}
+	e.queue = q[:0]
+	for v := 0; v < e.n; v++ {
+		if e.level[v] < 0 {
+			return fmt.Errorf("scenario %q: node %q unreachable from the hier roots", spec.Name, e.names[v])
+		}
+	}
+	for k := range e.adjLink {
+		lu, lv := e.level[e.adjFrom[k]], e.level[e.adjTo[k]]
+		if lu-lv != 1 && lv-lu != 1 {
+			return fmt.Errorf("scenario %q: hier routing needs a hierarchy: link %s-%s joins two nodes at depth %d",
+				spec.Name, e.names[e.adjFrom[k]], e.names[e.adjTo[k]], lu)
+		}
+	}
+	return nil
+}
+
+// recompute is the single routing entry point: the first call installs every
+// table from scratch; later calls (the dynamics hook, host moves) diff the
+// live link states against the mirror and touch only what flipped. It
+// returns the total changed-entry count across all hosts.
+func (e *routeEngine) recompute() int {
+	if !e.installed {
+		e.installed = true
+		e.syncMirror()
+		return e.installAll()
+	}
+	return e.update()
+}
+
+func (e *routeEngine) syncMirror() {
+	for k, l := range e.adjLink {
+		e.downMirror[k] = l.IsDown()
+	}
+}
+
+func (e *routeEngine) installAll() int {
+	changed := 0
+	if e.hier {
+		for v := 0; v < e.n; v++ {
+			changed += e.installHierNode(int32(v))
+		}
+		return changed
+	}
+	for s := 0; s < e.n; s++ {
+		changed += e.installExactNode(int32(s))
+	}
+	return changed
+}
+
+// update finds the directional links whose up/down state changed since the
+// last recompute and repairs routing incrementally. In hier mode only the
+// transmitting endpoint of each flipped link owns table entries through it,
+// so those nodes are rebuilt. In exact mode the distance matrix identifies
+// the affected sources: a downed link matters to source s only if it was
+// tight on s's BFS levels (dist[to] == dist[from]+1 — a non-tight edge
+// carries no shortest path and never discovers a node, so removing it cannot
+// change s's table), and a restored link matters only if it points forward
+// (dist[to] > dist[from] or to was unreachable — a sideways or backward edge
+// can neither shorten a path nor win a discovery tie). Affected sources
+// re-run their BFS against the live links, refreshing their matrix rows.
+func (e *routeEngine) update() int {
+	var flips []int32
+	for k, l := range e.adjLink {
+		if d := l.IsDown(); d != e.downMirror[k] {
+			e.downMirror[k] = d
+			flips = append(flips, int32(k))
+		}
+	}
+	if len(flips) == 0 {
+		return 0
+	}
+	changed := 0
+	if e.hier {
+		for i, k := range flips {
+			u := e.adjFrom[k]
+			dup := false
+			for _, prev := range flips[:i] {
+				if e.adjFrom[prev] == u {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				changed += e.installHierNode(u)
+			}
+		}
+		return changed
+	}
+	if e.dist == nil {
+		// Exact mode beyond the matrix budget: full recompute. InstallRoutes
+		// still reports only real deltas, so the count is unchanged.
+		return e.installAll()
+	}
+	aff := e.affected
+	for i := range aff {
+		aff[i] = false
+	}
+	for s := 0; s < e.n; s++ {
+		row := e.dist[s*e.n : (s+1)*e.n]
+		for _, k := range flips {
+			du, dv := row[e.adjFrom[k]], row[e.adjTo[k]]
+			if du < 0 {
+				continue
+			}
+			if e.downMirror[k] {
+				if dv == du+1 {
+					aff[s] = true
+					break
+				}
+			} else if dv < 0 || dv > du {
+				aff[s] = true
+				break
+			}
+		}
+	}
+	for s := 0; s < e.n; s++ {
+		if aff[s] {
+			changed += e.installExactNode(int32(s))
+		}
+	}
+	return changed
+}
+
+// installExactNode BFSes from src and installs the full destination table,
+// returning the changed-entry count. The BFS propagates the first hop along
+// the parent chain, which yields the same link the old implementation found
+// by walking parent pointers back to the source.
+func (e *routeEngine) installExactNode(src int32) int {
+	row := e.distRow
+	if e.dist != nil {
+		row = e.dist[int(src)*e.n : (int(src)+1)*e.n]
+	}
+	e.bfs(src, row)
+	table := make(map[string]*netsim.Link)
+	for v := 0; v < e.n; v++ {
+		if int32(v) == src || row[v] < 0 {
+			continue // unreachable; Output will count a NoRouteDrop
+		}
+		table[e.names[v]] = e.adjLink[e.firstHop[v]]
+	}
+	return e.hosts[src].InstallRoutes(table)
+}
+
+// bfs fills dist (and the firstHop scratch) from src over the live links,
+// skipping those that are down. Ties break by first-mention order: the
+// adjacency preserves edge insertion order, so tables are deterministic.
+func (e *routeEngine) bfs(src int32, dist []int32) {
+	fh := e.firstHop
+	for i := range dist {
+		dist[i] = -1
+		fh[i] = -1
+	}
+	q := e.queue[:0]
+	dist[src] = 0
+	q = append(q, src)
+	for qi := 0; qi < len(q); qi++ {
+		u := q[qi]
+		for k := e.adjOff[u]; k < e.adjOff[u+1]; k++ {
+			if e.adjLink[k].IsDown() {
+				continue
+			}
+			v := e.adjTo[k]
+			if dist[v] >= 0 {
+				continue
+			}
+			dist[v] = dist[u] + 1
+			if u == src {
+				fh[v] = k
+			} else {
+				fh[v] = fh[u]
+			}
+			q = append(q, v)
+		}
+	}
+	e.queue = q[:0]
+}
+
+// installHierNode rebuilds one node's hierarchical table from its own links:
+// an exact entry per live child, a domain entry per live child router, and a
+// default route on the first live up link starting from a per-node rotation
+// (so redundant up links — a fat-tree edge switch's k/2 aggregations — are
+// spread across sources instead of all picking the first). A node's table
+// depends on nothing beyond its own adjacency, which is what makes the
+// incremental path O(flipped links).
+func (e *routeEngine) installHierNode(u int32) int {
+	lv := e.level[u]
+	routes := make(map[string]*netsim.Link)
+	var domains map[string]*netsim.Link
+	var def *netsim.Link
+	up := e.queue[:0] // borrow the BFS scratch for the up-slot list
+	for k := e.adjOff[u]; k < e.adjOff[u+1]; k++ {
+		v := e.adjTo[k]
+		if e.level[v] == lv-1 {
+			up = append(up, k)
+			continue
+		}
+		if e.adjLink[k].IsDown() {
+			continue
+		}
+		routes[e.names[v]] = e.adjLink[k]
+		if e.isRouter[v] {
+			if domains == nil {
+				domains = make(map[string]*netsim.Link)
+			}
+			if _, claimed := domains[e.domains[v]]; !claimed {
+				domains[e.domains[v]] = e.adjLink[k]
+			}
+		}
+	}
+	if len(up) > 0 {
+		start := int(u) % len(up)
+		for i := 0; i < len(up); i++ {
+			k := up[(start+i)%len(up)]
+			if !e.adjLink[k].IsDown() {
+				def = e.adjLink[k]
+				break
+			}
+		}
+	}
+	e.queue = up[:0]
+	return e.hosts[u].InstallHierRoutes(routes, domains, def)
+}

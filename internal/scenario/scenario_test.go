@@ -108,7 +108,7 @@ func TestMultiHopRouting(t *testing.T) {
 		if h.ForwardedPackets == 0 {
 			t.Errorf("router %s forwarded nothing", h.Name)
 		}
-		if h.RouteMissDrops != 0 || h.TTLExpiredDrops != 0 {
+		if h.RouteMissDrops != 0 || h.ForwardMissDrops != 0 || h.TTLExpiredDrops != 0 {
 			t.Errorf("router %s dropped transit packets: %+v", h.Name, h.HostStats)
 		}
 	}

@@ -133,10 +133,34 @@ type Spec struct {
 	// to a serial run. 0 or 1 runs serially; so does any partition whose
 	// lookahead would be zero.
 	Shards int `json:"shards,omitempty"`
+	// Routing selects the routing mode: RoutingExact (the default when empty)
+	// computes a full destination table per node by all-pairs shortest path;
+	// RoutingHier installs hierarchical tables — exact entries for children,
+	// name-suffix domain entries for child routers, a default route up — on
+	// tree-like topologies rooted at HierRoots. Hierarchical routing keeps
+	// per-node table memory at O(children) instead of O(nodes), which is what
+	// makes 100k-host fat-tree and ISP specs buildable.
+	Routing string `json:"routing,omitempty"`
+	// HierRoots names the top-level routers of a RoutingHier topology (a
+	// fat-tree's core switches). Every node must be reachable from the roots
+	// and every link must join adjacent hierarchy levels.
+	HierRoots []string `json:"hier_roots,omitempty"`
+	// Domains optionally maps a router to the name-suffix domain it covers
+	// downward, for routers whose subtree is named after something other than
+	// the router itself (a fat-tree aggregation switch "a0.p2" covers the pod
+	// suffix "p2"). A router absent from the map covers its own name: hosts
+	// under an edge switch "e1.p2" are named "h<i>.e1.p2".
+	Domains map[string]string `json:"domains,omitempty"`
 	// CMOpts configures every Congestion Manager the spec instantiates. It
 	// is programmatic-only state (functions), invisible to JSON.
 	CMOpts []cm.Option `json:"-"`
 }
+
+// Routing modes.
+const (
+	RoutingExact = "exact"
+	RoutingHier  = "hier"
+)
 
 // fillDefaults normalises the spec in place. The Workloads slice is cloned
 // before any write: specs are replicated by value for batch runs (cmsim
@@ -326,6 +350,28 @@ func (s *Spec) Validate() error {
 	}
 	if s.Shards < 0 {
 		return fmt.Errorf("scenario %q: negative shard count %d", s.Name, s.Shards)
+	}
+	switch s.Routing {
+	case "", RoutingExact:
+		if len(s.HierRoots) > 0 || len(s.Domains) > 0 {
+			return fmt.Errorf("scenario %q: hier roots/domains set but routing is %q", s.Name, s.Routing)
+		}
+	case RoutingHier:
+		if len(s.HierRoots) == 0 {
+			return fmt.Errorf("scenario %q: hier routing needs at least one root (HierRoots)", s.Name)
+		}
+		for _, r := range s.HierRoots {
+			if !router[r] {
+				return fmt.Errorf("scenario %q: hier root %q is not a router", s.Name, r)
+			}
+		}
+		for d := range s.Domains {
+			if !router[d] {
+				return fmt.Errorf("scenario %q: domain for %q, which is not a router", s.Name, d)
+			}
+		}
+	default:
+		return fmt.Errorf("scenario %q: unknown routing mode %q", s.Name, s.Routing)
 	}
 	return nil
 }

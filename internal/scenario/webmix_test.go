@@ -176,7 +176,7 @@ func TestGeneratorsExpandIntoTimeline(t *testing.T) {
 		drops += l.DownDrops
 	}
 	for _, h := range res.Hosts {
-		drops += h.NoRouteDrops + h.RouteMissDrops
+		drops += h.NoRouteDrops + h.RouteMissDrops + h.ForwardMissDrops
 	}
 	if drops == 0 {
 		t.Fatal("generated outages dropped nothing — flaps did not reach the network")

@@ -1,0 +1,113 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestParamAxisExpansion: a param.* axis re-invokes the scenario's builder
+// per point, so the expanded specs differ in topology, campaign-level Params
+// fill the non-swept builder knobs, and param axes (being numeric) perturb
+// the derived seeds like any other numeric axis.
+func TestParamAxisExpansion(t *testing.T) {
+	camp := Campaign{
+		Name:       "fattree-scale",
+		Scenario:   "fattree",
+		Params:     map[string]float64{"hosts": 1},
+		Axes:       []Axis{{Param: "param.k", Values: []float64{4, 6}}},
+		Replicates: 2,
+	}
+	points, err := camp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2", len(points))
+	}
+	links4 := len(points[0].Specs[0].Links)
+	links6 := len(points[1].Specs[0].Links)
+	if links4 >= links6 {
+		t.Fatalf("k=4 has %d links, k=6 has %d — param axis did not reshape the topology", links4, links6)
+	}
+	// hosts=1 from the campaign params: k pods × k/2 edges × 1 host.
+	countHosts := func(spec scenario.Spec) int {
+		routers := make(map[string]bool)
+		for _, r := range spec.Routers {
+			routers[r] = true
+		}
+		nodes := make(map[string]bool)
+		for _, ls := range spec.Links {
+			nodes[ls.A] = true
+			nodes[ls.B] = true
+		}
+		n := 0
+		for name := range nodes {
+			if !routers[name] {
+				n++
+			}
+		}
+		return n
+	}
+	if got := countHosts(points[0].Specs[0]); got != 8 {
+		t.Fatalf("k=4 hosts=1 spec has %d hosts, want 8", got)
+	}
+	if got := countHosts(points[1].Specs[0]); got != 18 {
+		t.Fatalf("k=6 hosts=1 spec has %d hosts, want 18", got)
+	}
+	// Numeric-axis seed derivation: point 1 differs from point 0 by the point
+	// stride, replicate 1 by the replicate stride.
+	if points[0].Seeds[0]+seedPointStride != points[1].Seeds[0] {
+		t.Fatalf("point seeds %v / %v not one point-stride apart", points[0].Seeds, points[1].Seeds)
+	}
+	if points[0].Seeds[0]+seedReplicateStride != points[0].Seeds[1] {
+		t.Fatalf("replicate seeds %v not one replicate-stride apart", points[0].Seeds)
+	}
+	for _, pt := range points {
+		for r, spec := range pt.Specs {
+			if spec.Seed != pt.Seeds[r] {
+				t.Fatalf("spec seed %d != derived %d", spec.Seed, pt.Seeds[r])
+			}
+		}
+	}
+}
+
+// TestParamAxisErrors: param.* axes need a named parameterised scenario, and
+// campaign-level Params are rejected on inline base specs and unknown
+// builder parameters surface from expansion.
+func TestParamAxisErrors(t *testing.T) {
+	inline := Campaign{
+		Name: "inline",
+		Base: &scenario.Spec{Name: "x"},
+		Axes: []Axis{{Param: "param.k", Values: []float64{4}}},
+	}
+	if _, err := inline.Expand(); err == nil || !strings.Contains(err.Error(), "param.k") {
+		t.Fatalf("inline base with param axis: err = %v", err)
+	}
+	withParams := Campaign{
+		Name:   "inline-params",
+		Base:   &scenario.Spec{Name: "x"},
+		Params: map[string]float64{"k": 4},
+		Axes:   []Axis{{Param: "seed", Values: []float64{1}}},
+	}
+	if _, err := withParams.Expand(); err == nil {
+		t.Fatal("inline base with builder params accepted")
+	}
+	unknown := Campaign{
+		Name:     "unknown",
+		Scenario: "fattree",
+		Axes:     []Axis{{Param: "param.pods", Values: []float64{4}}},
+	}
+	if _, err := unknown.Expand(); err == nil {
+		t.Fatal("unknown builder parameter accepted")
+	}
+	nonParam := Campaign{
+		Name:     "non-param",
+		Scenario: "dumbbell",
+		Axes:     []Axis{{Param: "param.k", Values: []float64{4}}},
+	}
+	if _, err := nonParam.Expand(); err == nil {
+		t.Fatal("param axis on a non-parameterised scenario accepted")
+	}
+}

@@ -15,6 +15,9 @@ import (
 // The axis param grammar is a tiny path language into a scenario.Spec:
 //
 //	seed | shards | duration
+//	param.<name>   (builder parameters of a parameterised scenario, e.g.
+//	                param.k on a fattree campaign; resolved at expansion by
+//	                re-invoking the builder, since they reshape the topology)
 //	link[i].{loss | bandwidth | delay | queue | seed |
 //	         ge.p_good_bad | ge.p_bad_good | ge.loss_good | ge.loss_bad | ge.tick}
 //	workload[i].{flows | bytes | rate | start | recv_window | port | cc | kind}
@@ -36,6 +39,11 @@ func Apply(spec *scenario.Spec, param string, v Value) error {
 		return err
 	}
 	switch name {
+	case "param":
+		// Builder parameters (param.k on a fattree campaign) change the
+		// topology itself, so they cannot patch an existing spec; Expand
+		// resolves them by re-invoking the scenario's parameterised factory.
+		return fmt.Errorf("sweep: param %q must be resolved at expansion (internal error: Apply reached a param.* axis)", param)
 	case "seed", "shards", "duration":
 		if rest != "" || index != indexNone {
 			return fmt.Errorf("sweep: param %q: %q takes no index or field", param, name)

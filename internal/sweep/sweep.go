@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"strings"
 
 	"repro/internal/dynamics"
 	"repro/internal/scenario"
@@ -152,6 +153,10 @@ type Campaign struct {
 	// Exactly one of the two must be set.
 	Scenario string         `json:"scenario,omitempty"`
 	Base     *scenario.Spec `json:"base,omitempty"`
+	// Params configures a parameterised Scenario's builder (fattree k=8).
+	// Sweeping a builder parameter uses a param.<name> axis instead, which
+	// overrides the same-named entry here point by point.
+	Params map[string]float64 `json:"params,omitempty"`
 	// Axes are crossed in declaration order: the first axis varies slowest.
 	Axes []Axis `json:"axes"`
 	// Replicates runs each point this many times under derived seeds
@@ -203,9 +208,12 @@ func (c Campaign) base() (scenario.Spec, error) {
 	case c.Base != nil && c.Scenario != "":
 		return scenario.Spec{}, fmt.Errorf("sweep: campaign %q sets both base and scenario", c.Name)
 	case c.Base != nil:
+		if len(c.Params) > 0 {
+			return scenario.Spec{}, fmt.Errorf("sweep: campaign %q sets builder params on an inline base spec", c.Name)
+		}
 		return cloneSpec(*c.Base), nil
 	case c.Scenario != "":
-		spec, err := scenario.Lookup(c.Scenario)
+		spec, err := scenario.LookupParams(c.Scenario, c.Params)
 		if err != nil {
 			return scenario.Spec{}, fmt.Errorf("sweep: campaign %q: %w", c.Name, err)
 		}
@@ -227,10 +235,17 @@ func (c Campaign) Expand() ([]Point, error) {
 	}
 	axes := make([][]Value, len(c.Axes))
 	total := 1
+	hasParamAxis := false
 	for i, a := range c.Axes {
 		vals, err := a.expand()
 		if err != nil {
 			return nil, err
+		}
+		if _, ok := paramAxis(a.Param); ok {
+			hasParamAxis = true
+			if c.Scenario == "" {
+				return nil, fmt.Errorf("sweep: campaign %q: axis %q needs a named parameterised scenario, not an inline base", c.Name, a.Param)
+			}
 		}
 		axes[i] = vals
 		total *= len(vals)
@@ -272,15 +287,43 @@ func (c Campaign) Expand() ([]Point, error) {
 				}
 			}
 		}
+		// Builder-parameter axes reshape the topology, so the point's base
+		// comes from re-invoking the scenario factory with the campaign
+		// params overlaid by this point's param.* coordinates.
+		pointBase := base
+		if hasParamAxis {
+			merged := make(map[string]float64, len(c.Params)+len(axes))
+			for name, v := range c.Params {
+				merged[name] = v
+			}
+			for k := range axes {
+				name, ok := paramAxis(c.Axes[k].Param)
+				if !ok {
+					continue
+				}
+				num, err := pt.Values[k].numeric(c.Axes[k].Param)
+				if err != nil {
+					return nil, err
+				}
+				merged[name] = num
+			}
+			pointBase, err = scenario.LookupParams(c.Scenario, merged)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: campaign %q point %d: %w", c.Name, p, err)
+			}
+		}
 		for r := 0; r < reps; r++ {
-			spec := cloneSpec(base)
+			spec := cloneSpec(pointBase)
 			// The campaign-level shard count applies before the patches, so a
 			// swept "shards" axis overrides it — the CSV's shards column must
 			// always report what actually ran.
 			if c.Shards > 0 {
 				spec.Shards = c.Shards
 			}
-			for _, v := range pt.Values {
+			for k, v := range pt.Values {
+				if _, ok := paramAxis(c.Axes[k].Param); ok {
+					continue // already resolved into pointBase
+				}
 				if err := Apply(&spec, v.Param, v); err != nil {
 					return nil, err
 				}
@@ -320,7 +363,21 @@ func cloneSpec(s scenario.Spec) scenario.Spec {
 		}
 	}
 	s.Generators = append([]dynamics.Generator(nil), s.Generators...)
+	s.HierRoots = append([]string(nil), s.HierRoots...)
+	if s.Domains != nil {
+		d := make(map[string]string, len(s.Domains))
+		for k, v := range s.Domains {
+			d[k] = v
+		}
+		s.Domains = d
+	}
 	return s
+}
+
+// paramAxis splits a builder-parameter axis ("param.k" -> "k", true); other
+// axis params return false.
+func paramAxis(param string) (string, bool) {
+	return strings.CutPrefix(param, "param.")
 }
 
 // PointResult is one sweep point's executed outcome.
