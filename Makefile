@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench perf bench-smoke sweep-smoke soak-smoke fattree-smoke
+.PHONY: ci vet build test race bench perf bench-smoke sweep-smoke soak-smoke fattree-smoke probe-smoke
 
 ci: vet build race bench
 
@@ -29,11 +29,11 @@ perf:
 	$(GO) run ./cmd/cmbench -experiment perf -perfout BENCH_1.json
 
 # Per-PR perf trajectory point: the core-loop + sharded-scenario + fat-tree
-# and 100k-host ISP build benchmarks written to BENCH_6.json (CI uploads it
+# and 100k-host ISP build benchmarks written to BENCH_8.json (CI uploads it
 # as an artifact) and diffed against the newest committed BENCH_*.json — any
 # shared benchmark regressing >25% in ns/op fails the target.
 bench-smoke:
-	$(GO) run ./cmd/cmbench -experiment perf -pr 6 -perfout BENCH_6.json -compare latest
+	$(GO) run ./cmd/cmbench -experiment perf -pr 8 -perfout BENCH_8.json -compare latest
 
 # Tiny two-axis sweep campaign through the sweep engine: an end-to-end smoke
 # of expansion, the parallel runner, aggregation and the CSV emitter. CI
@@ -53,6 +53,20 @@ sweep-smoke:
 soak-smoke:
 	$(GO) run ./cmd/cmsim -campaign examples/campaigns/churn-soak.json \
 		-parallel 8 -check-invariants -csv > CHURN_SOAK.csv
+
+# In-run observability smoke: re-run the flight recorder's zero-alloc gate
+# and the probes-active byte-identity/determinism checks, then a sharded
+# churn run with declarative probes, the flight recorder, mid-run snapshot
+# invariant checking and the shard-execution timeline all armed. CI uploads
+# PROBE_SMOKE.csv and SHARD_TIMELINE.json (see docs/OBSERVABILITY.md).
+probe-smoke:
+	$(GO) test -run TestRecorderAppendZeroAlloc ./internal/probe/
+	$(GO) test -short -run 'TestShardedRunsAreByteIdentical|TestProbeSeriesDeterministic' ./internal/scenario/
+	$(GO) run ./cmd/cmsim -scenario churn -shards 4 \
+		-probe "link[0].queue_depth" -probe "link[0].utilization" \
+		-probe "cm[s0].cwnd" -trace-depth 512 -snapshot-every 1s \
+		-check-invariants -probe-csv PROBE_SMOKE.csv \
+		-timeline-out SHARD_TIMELINE.json > /dev/null
 
 # Hierarchical-routing smoke: sweep the fat-tree builder's k parameter
 # (param.* axes rebuild the topology per point), exercising suffix-domain

@@ -27,6 +27,14 @@
 // (mean/stddev/min/max/p50/p99) and emit as an aligned table, -json, or
 // deterministic -csv whose bytes are identical for any -parallel setting.
 //
+// Observability (see docs/OBSERVABILITY.md for the probe grammar):
+//
+//	cmsim -scenario dumbbell -probe "link[0].queue_depth" \
+//	      -probe "cm[s0].cwnd@100ms" -probe-csv probes.csv    # mid-run time series
+//	cmsim -scenario churn -trace-out trace.txt                # flight-recorder dump
+//	cmsim -scenario grid -shards 4 -timeline-out timeline.json # Chrome trace_event
+//	cmsim -scenario churn -snapshot-every 1s -check-invariants # first-violation time
+//
 // Legacy point-to-point mode (no -scenario):
 //
 //	cmsim -bw 10e6 -rtt 60ms -loss 1 -cc cm -bytes 2000000
@@ -39,6 +47,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -48,6 +57,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/netsim"
+	"repro/internal/probe"
 	"repro/internal/scenario"
 	"repro/internal/sweep"
 )
@@ -57,6 +67,36 @@ type sweepFlags []string
 
 func (s *sweepFlags) String() string     { return strings.Join(*s, "; ") }
 func (s *sweepFlags) Set(v string) error { *s = append(*s, v); return nil }
+
+// probeFlags collects repeated -probe flags as parsed probe specs. Each flag
+// is "target" or "target@interval" (e.g. "link[0].queue_depth@100ms"); the
+// target grammar is validated here so a typo fails at flag-parse time.
+type probeFlags []probe.Spec
+
+func (p *probeFlags) String() string {
+	var parts []string
+	for _, ps := range *p {
+		parts = append(parts, ps.Target)
+	}
+	return strings.Join(parts, "; ")
+}
+
+func (p *probeFlags) Set(v string) error {
+	target, iv, hasInterval := strings.Cut(v, "@")
+	ps := probe.Spec{Target: target}
+	if hasInterval {
+		d, err := time.ParseDuration(iv)
+		if err != nil {
+			return fmt.Errorf("probe %q: bad interval %q", v, iv)
+		}
+		ps.Interval = d
+	}
+	if _, err := probe.ParseTarget(ps.Target); err != nil {
+		return err
+	}
+	*p = append(*p, ps)
+	return nil
+}
 
 // paramFlags collects repeated -param name=value flags for parameterised
 // scenario builders.
@@ -85,6 +125,7 @@ func (p paramFlags) Set(s string) error {
 
 func main() {
 	var sweeps sweepFlags
+	var probes probeFlags
 	params := make(paramFlags)
 	var (
 		list     = flag.Bool("list", false, "print the registered scenarios and exit")
@@ -97,7 +138,13 @@ func main() {
 		campaign   = flag.String("campaign", "", "run a sweep campaign from this JSON file (see docs/SWEEPS.md)")
 		replicates = flag.Int("replicates", 1, "sweep mode: seed replicates per sweep point")
 		csvOut     = flag.Bool("csv", false, "sweep mode: emit the aggregated results as CSV")
-		checkInv   = flag.Bool("check-invariants", false, "run the faults invariant checker over every result; violations go to stderr and exit nonzero (see docs/ROBUSTNESS.md)")
+		checkInv   = flag.Bool("check-invariants", false, "run the faults invariant checker over every result; violations go to stderr and exit nonzero (see docs/ROBUSTNESS.md); with -snapshot-every the checker also runs over every mid-run snapshot and reports the first-violation time")
+
+		probeCSV    = flag.String("probe-csv", "", "write the first run's probe series as CSV to this file (\"-\" = stdout); declare probes with -probe (see docs/OBSERVABILITY.md)")
+		traceDepth  = flag.Int("trace-depth", 0, "per-host flight-recorder ring depth in events (0 = tracing off)")
+		traceOut    = flag.String("trace-out", "", "dump the flight-recorder rings to this file after the first run (\"-\" = stdout); implies -trace-depth 1024 when unset")
+		timelineOut = flag.String("timeline-out", "", "write the first run's execution timeline as Chrome trace_event JSON to this file (load in chrome://tracing or Perfetto)")
+		snapEvery   = flag.Duration("snapshot-every", 0, "capture a full mid-run result snapshot at this virtual-time interval")
 
 		bw       = flag.Float64("bw", 10e6, "legacy mode: bottleneck bandwidth in bits/second")
 		rtt      = flag.Duration("rtt", 60*time.Millisecond, "legacy mode: round-trip propagation delay")
@@ -110,6 +157,7 @@ func main() {
 		deadline = flag.Duration("deadline", time.Hour, "legacy mode: virtual-time deadline")
 	)
 	flag.Var(&sweeps, "sweep", "sweep mode: one axis as param=values (repeatable): v1,v2,... | min:max:steps | log:min:max:steps")
+	flag.Var(&probes, "probe", "declarative sampling probe as target[@interval] (repeatable), e.g. link[0].queue_depth@100ms; series land in results and sweep aggregation (see docs/OBSERVABILITY.md)")
 	flag.Var(params, "param", "builder parameter for a parameterised -scenario as name=value (repeatable), e.g. -scenario fattree -param k=8")
 	buildProfile := flag.String("buildprofile", "", "build the -scenario topology under profiling, write <prefix>.cpu.pprof and <prefix>.heap.pprof, report build time, and exit without running")
 	flag.Parse()
@@ -132,7 +180,7 @@ func main() {
 	if *campaign != "" || len(sweeps) > 0 {
 		set := make(map[string]bool)
 		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-		if err := runCampaign(*campaign, sweeps, *names, params, *replicates, *shards, *parallel, *jsonOut, *csvOut, *checkInv, set); err != nil {
+		if err := runCampaign(*campaign, sweeps, probes, *names, params, *replicates, *shards, *parallel, *jsonOut, *csvOut, *checkInv, set); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
@@ -167,7 +215,84 @@ func main() {
 		}
 	}
 
-	outcomes := scenario.Runner{Parallel: *parallel}.RunAll(specs)
+	if *traceOut != "" && *traceDepth == 0 {
+		*traceDepth = 1024
+	}
+	for i := range specs {
+		specs[i].Probes = append(specs[i].Probes, probes...)
+		if *traceDepth > 0 {
+			specs[i].TraceDepth = *traceDepth
+		}
+		if *snapEvery > 0 {
+			specs[i].SnapshotEvery = *snapEvery
+		}
+	}
+
+	// Runs that need mid-run artifacts (a trace dump, an execution timeline,
+	// snapshots for first-violation reporting) keep the built Sim around, so
+	// they drive the pieces directly instead of going through the batch
+	// runner; results are byte-identical either way.
+	instrumented := *traceOut != "" || *timelineOut != "" || *snapEvery > 0
+	var outcomes []scenario.RunOutcome
+	var sims []*scenario.Sim
+	if instrumented {
+		for _, spec := range specs {
+			sim, res, err := runInstrumentedSpec(spec, *timelineOut != "")
+			if err != nil {
+				outcomes = append(outcomes, scenario.RunOutcome{Err: err.Error()})
+				sims = append(sims, nil)
+				continue
+			}
+			outcomes = append(outcomes, scenario.RunOutcome{Result: res})
+			sims = append(sims, sim)
+		}
+	} else {
+		outcomes = scenario.Runner{Parallel: *parallel}.RunAll(specs)
+	}
+
+	var firstSim *scenario.Sim
+	for _, sim := range sims {
+		if sim != nil {
+			firstSim = sim
+			break
+		}
+	}
+	if *timelineOut != "" && firstSim != nil {
+		if err := writeArtifact(*timelineOut, firstSim.ExecutionTimeline().WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	if *traceOut != "" && firstSim != nil {
+		err := writeArtifact(*traceOut, func(w io.Writer) error {
+			firstSim.DumpTrace(w)
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	if *probeCSV != "" {
+		err := writeArtifact(*probeCSV, func(w io.Writer) error {
+			for _, o := range outcomes {
+				if o.Result == nil {
+					continue
+				}
+				series := make([]*probe.Series, len(o.Result.Series))
+				for i := range o.Result.Series {
+					series[i] = &o.Result.Series[i]
+				}
+				_, err := io.WriteString(w, probe.CSV(series...))
+				return err
+			}
+			return fmt.Errorf("-probe-csv: no successful run to report")
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -186,12 +311,30 @@ func main() {
 	}
 	if *checkInv {
 		var violations []faults.Violation
-		for _, o := range outcomes {
-			if o.Result != nil {
+		firstAt := int64(-1)
+		for i, o := range outcomes {
+			if o.Result == nil {
+				continue
+			}
+			if instrumented && sims[i] != nil && len(sims[i].Snapshots()) > 0 {
+				vs, fa := faults.CheckSnapshots(sims[i].Snapshots(), o.Result)
+				violations = append(violations, vs...)
+				if fa >= 0 && (firstAt < 0 || fa < firstAt) {
+					firstAt = fa
+				}
+			} else {
 				violations = append(violations, faults.Check(o.Result)...)
 			}
 		}
+		if firstAt >= 0 {
+			fmt.Fprintf(os.Stderr, "first invariant violation at t=%v\n", time.Duration(firstAt))
+		}
 		if reportViolations(violations) {
+			// A violation with the flight recorder armed but no -trace-out:
+			// dump the rings to stderr so the evidence isn't lost.
+			if *traceOut == "" && *traceDepth > 0 && firstSim != nil {
+				firstSim.DumpTrace(os.Stderr)
+			}
 			os.Exit(1)
 		}
 	}
@@ -200,6 +343,40 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runInstrumentedSpec builds and runs one spec in-process, keeping the Sim
+// so mid-run artifacts (flight-recorder rings, execution timeline, mid-run
+// snapshots) survive the run for the caller to export.
+func runInstrumentedSpec(spec scenario.Spec, timeline bool) (*scenario.Sim, *scenario.Result, error) {
+	sim, err := scenario.Build(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	if timeline {
+		sim.EnableExecutionTimeline()
+	}
+	if err := sim.Start(); err != nil {
+		return nil, nil, err
+	}
+	sim.RunToEnd()
+	return sim, sim.Finish(), nil
+}
+
+// writeArtifact writes one output file ("-" = stdout) through fn.
+func writeArtifact(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // reportViolations prints invariant violations to stderr, returning whether
@@ -219,7 +396,7 @@ func reportViolations(violations []faults.Violation) bool {
 // one assembled from -scenario plus repeated -sweep axes. With -campaign,
 // explicitly passed -replicates/-shards override the file's values; a
 // -scenario alongside -campaign is rejected rather than silently ignored.
-func runCampaign(file string, sweeps []string, names string, params map[string]float64, replicates, shards, parallel int, jsonOut, csvOut, checkInv bool, set map[string]bool) error {
+func runCampaign(file string, sweeps []string, probes []probe.Spec, names string, params map[string]float64, replicates, shards, parallel int, jsonOut, csvOut, checkInv bool, set map[string]bool) error {
 	var camp sweep.Campaign
 	switch {
 	case file != "" && len(sweeps) > 0:
@@ -257,6 +434,9 @@ func runCampaign(file string, sweeps []string, names string, params map[string]f
 			camp.Axes = append(camp.Axes, axis)
 		}
 	}
+	// CLI probes stack on whatever the campaign file declares; each becomes a
+	// probe.* metric column of the aggregated output.
+	camp.Probes = append(camp.Probes, probes...)
 	res, err := camp.Run(scenario.Runner{Parallel: parallel})
 	if err != nil {
 		return err

@@ -19,8 +19,8 @@ import (
 	"repro/internal/cm"
 	"repro/internal/netsim"
 	"repro/internal/node"
+	"repro/internal/probe"
 	"repro/internal/simtime"
-	"repro/internal/trace"
 	"repro/internal/udp"
 )
 
@@ -78,7 +78,7 @@ type Receiver struct {
 	dataSource   netsim.Addr
 	haveSource   bool
 
-	rate    *trace.RateEstimator
+	rate    *probe.RateEstimator
 	onData  func(d *udp.Datagram)
 	reports int64
 }
@@ -97,7 +97,7 @@ func NewReceiver(h *node.Host, port int, policy FeedbackPolicy, rateWindow time.
 		sock:   sock,
 		sched:  h.Clock(),
 		policy: policy,
-		rate:   trace.NewRateEstimator("received-rate", rateWindow),
+		rate:   probe.NewRateEstimator("received-rate", rateWindow),
 	}
 	// Reports are transport control traffic; they are never charged to a CM
 	// macroflow on the receiving host (which typically has no CM at all).
@@ -123,7 +123,7 @@ func (r *Receiver) TotalPackets() int64 { return r.totalPackets }
 func (r *Receiver) ReportsSent() int64 { return r.reports }
 
 // RateSeries returns the received-rate trace (bytes/second samples).
-func (r *Receiver) RateSeries() *trace.Series { return r.rate.Series() }
+func (r *Receiver) RateSeries() *probe.Series { return r.rate.Series() }
 
 func (r *Receiver) onDatagram(from netsim.Addr, d *udp.Datagram) {
 	if _, isReport := d.App.(Report); isReport {

@@ -8,8 +8,8 @@ import (
 	"repro/internal/libcm"
 	"repro/internal/netsim"
 	"repro/internal/node"
+	"repro/internal/probe"
 	"repro/internal/simtime"
-	"repro/internal/trace"
 	"repro/internal/udp"
 )
 
@@ -128,9 +128,9 @@ type LayeredServer struct {
 	pollTimer     simtime.Timer
 	watchdogTimer simtime.Timer
 
-	txRate       *trace.RateEstimator
-	reportedRate *trace.Series
-	layerRate    *trace.Series
+	txRate       *probe.RateEstimator
+	reportedRate *probe.Series
+	layerRate    *probe.Series
 	stats        LayeredStats
 }
 
@@ -151,9 +151,9 @@ func NewLayeredServer(h *node.Host, lib *libcm.Lib, dst netsim.Addr, cfg Layered
 		sched:        h.Clock(),
 		dst:          dst,
 		cfg:          cfg,
-		txRate:       trace.NewRateEstimator("transmission-rate", cfg.TraceWindow),
-		reportedRate: trace.NewSeries("cm-reported-rate"),
-		layerRate:    trace.NewSeries("layer-rate"),
+		txRate:       probe.NewRateEstimator("transmission-rate", cfg.TraceWindow),
+		reportedRate: probe.NewSeries("cm-reported-rate"),
+		layerRate:    probe.NewSeries("layer-rate"),
 	}
 	// Layered applications "open their usual UDP socket, and call cm_open()
 	// to obtain a control socket" (§3.4).
@@ -184,14 +184,14 @@ func (s *LayeredServer) Layer() int { return s.layer }
 func (s *LayeredServer) Stats() LayeredStats { return s.stats }
 
 // TransmissionRateSeries returns the measured transmission rate trace.
-func (s *LayeredServer) TransmissionRateSeries() *trace.Series { return s.txRate.Series() }
+func (s *LayeredServer) TransmissionRateSeries() *probe.Series { return s.txRate.Series() }
 
 // ReportedRateSeries returns the CM-reported rate trace (one sample per
 // query/callback).
-func (s *LayeredServer) ReportedRateSeries() *trace.Series { return s.reportedRate }
+func (s *LayeredServer) ReportedRateSeries() *probe.Series { return s.reportedRate }
 
 // LayerRateSeries returns the trace of the chosen layer's nominal rate.
-func (s *LayeredServer) LayerRateSeries() *trace.Series { return s.layerRate }
+func (s *LayeredServer) LayerRateSeries() *probe.Series { return s.layerRate }
 
 // Start begins streaming.
 func (s *LayeredServer) Start() {

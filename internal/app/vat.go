@@ -6,8 +6,8 @@ import (
 	"repro/internal/cm"
 	"repro/internal/netsim"
 	"repro/internal/node"
+	"repro/internal/probe"
 	"repro/internal/simtime"
-	"repro/internal/trace"
 	"repro/internal/udp"
 )
 
@@ -88,7 +88,7 @@ type VatSource struct {
 	running bool
 	frameTk simtime.Timer
 
-	sentRate *trace.RateEstimator
+	sentRate *probe.RateEstimator
 	stats    VatStats
 }
 
@@ -105,7 +105,7 @@ func NewVatSource(h *node.Host, cmgr *cm.CM, dst netsim.Addr, cfg VatConfig) (*V
 		sched:    h.Clock(),
 		cmgr:     cmgr,
 		cc:       cc,
-		sentRate: trace.NewRateEstimator("vat-sent-rate", cfg.TraceWindow),
+		sentRate: probe.NewRateEstimator("vat-sent-rate", cfg.TraceWindow),
 	}
 	v.fb = NewSenderFeedback(h.Clock(), func(nsent, nrecd int, mode cm.LossMode, rtt time.Duration) {
 		cc.Update(nsent, nrecd, mode, rtt)
@@ -136,7 +136,7 @@ func (v *VatSource) Flow() cm.FlowID { return v.cc.Flow() }
 func (v *VatSource) Stats() VatStats { return v.stats }
 
 // SentRateSeries returns the transmitted-rate trace.
-func (v *VatSource) SentRateSeries() *trace.Series { return v.sentRate.Series() }
+func (v *VatSource) SentRateSeries() *probe.Series { return v.sentRate.Series() }
 
 // PolicerRate returns the current admission rate in bytes/second.
 func (v *VatSource) PolicerRate() float64 { return v.policerRate }

@@ -2,6 +2,8 @@ package cm
 
 import (
 	"time"
+
+	"repro/internal/probe"
 )
 
 // RegisterSend registers the cmapp_send callback for a flow and optionally a
@@ -62,6 +64,9 @@ func (cm *CM) Request(f FlowID) {
 		return
 	}
 	cm.acct.Requests++
+	if cm.rec != nil {
+		cm.rec.Append(probe.Event{At: cm.clock.Now(), Kind: probe.EvRequest, Flow: int64(f)})
+	}
 	fl.pendingRequests++
 	if fl.pendingRequests == 1 {
 		fl.mf.sched.MarkEligible(fl)
@@ -111,6 +116,9 @@ func (cm *CM) notifyFlow(fl *flowState, nsent int) {
 	cm.acct.Notifies++
 	if nsent < 0 {
 		nsent = 0
+	}
+	if cm.rec != nil {
+		cm.rec.Append(probe.Event{At: cm.clock.Now(), Kind: probe.EvNotify, Flow: int64(fl.id), Size: int64(nsent)})
 	}
 	fl.mf.notify(fl, nsent)
 }

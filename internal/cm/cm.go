@@ -27,9 +27,11 @@ package cm
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/probe"
 	"repro/internal/simtime"
 )
 
@@ -250,6 +252,11 @@ type CM struct {
 	// spoke and they must re-open flows and re-register callbacks.
 	epoch int64
 
+	// rec, when non-nil, receives flight-recorder events for the request/
+	// grant/notify control loop. Appending to the ring never allocates, and
+	// the nil check keeps the disabled path at its zero-alloc baseline.
+	rec *probe.Recorder
+
 	acct Accounting
 }
 
@@ -282,6 +289,10 @@ func (cm *CM) Config() Config { return cm.cfg }
 // goroutine may drive this CM (true = allowed). Sharded execution pins each
 // CM to its host's shard with it; nil (the default) disables the check.
 func (cm *CM) SetOwnershipCheck(fn func() bool) { cm.owned = fn }
+
+// SetRecorder attaches a flight recorder receiving cm-request, cm-grant and
+// cm-notify events; nil (the default) detaches it.
+func (cm *CM) SetRecorder(r *probe.Recorder) { cm.rec = r }
 
 // Now returns the CM's current time.
 func (cm *CM) Now() time.Duration { return cm.clock.Now() }
@@ -385,6 +396,50 @@ func (cm *CM) MacroflowOf(f FlowID) *Macroflow {
 // flow handle.
 func (cm *CM) MacroflowTo(dstHost string) *Macroflow {
 	return cm.macroflows[macroflowKey{dstHost: dstHost}]
+}
+
+// AggregateStatus is the cross-macroflow summary sampled by the cm[...]
+// observability probes: additive quantities are summed, path properties
+// reported as the worst case.
+type AggregateStatus struct {
+	Rate        float64       // sum of macroflow rates, bytes/s
+	CWND        int           // sum of congestion windows, bytes
+	Outstanding int           // sum of charged-but-unreported bytes
+	SRTT        time.Duration // max smoothed RTT
+	LossRate    float64       // max loss estimate
+	Flows       int
+	Macroflows  int
+}
+
+// AggregateStatus summarises every macroflow. Macroflows are visited in
+// sorted (destination host, tag) order so the floating-point rate sum is
+// independent of map iteration order — the property that keeps probe series
+// byte-identical across serial and sharded runs.
+func (cm *CM) AggregateStatus() AggregateStatus {
+	keys := make([]macroflowKey, 0, len(cm.macroflows))
+	for k := range cm.macroflows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].dstHost != keys[j].dstHost {
+			return keys[i].dstHost < keys[j].dstHost
+		}
+		return keys[i].tag < keys[j].tag
+	})
+	st := AggregateStatus{Flows: len(cm.flows), Macroflows: len(cm.macroflows)}
+	for _, k := range keys {
+		m := cm.macroflows[k]
+		st.Rate += m.Rate()
+		st.CWND += m.Window()
+		st.Outstanding += m.Outstanding()
+		if s := m.SRTT(); s > st.SRTT {
+			st.SRTT = s
+		}
+		if lr := m.LossRate(); lr > st.LossRate {
+			st.LossRate = lr
+		}
+	}
+	return st
 }
 
 // macroflowFor returns (creating if necessary) the macroflow for a key.

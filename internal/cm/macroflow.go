@@ -2,6 +2,8 @@ package cm
 
 import (
 	"time"
+
+	"repro/internal/probe"
 )
 
 // grant records permission given to a flow to send up to one MTU, not yet
@@ -180,6 +182,9 @@ func (m *Macroflow) pump() {
 		m.stats.GrantsIssued++
 		m.cm.acct.GrantsIssued++
 		m.lastActivity = m.cm.clock.Now()
+		if m.cm.rec != nil {
+			m.cm.rec.Append(probe.Event{At: g.issued, Kind: probe.EvGrant, Flow: int64(fl.id), Size: int64(g.bytes)})
+		}
 		if fl.sendCB != nil {
 			fl.dispatcher.DeliverSend(fl.id, fl.sendCB)
 		} else {

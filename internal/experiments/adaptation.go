@@ -7,7 +7,7 @@ import (
 	"repro/internal/app"
 	"repro/internal/libcm"
 	"repro/internal/netsim"
-	"repro/internal/trace"
+	"repro/internal/probe"
 )
 
 // AdaptationConfig parameterises the layered-streaming adaptation traces of
@@ -72,13 +72,13 @@ func (c *AdaptationConfig) fillDefaults() {
 type AdaptationResult struct {
 	Config AdaptationConfig
 	// TransmissionRate is the measured sending rate (bytes/second buckets).
-	TransmissionRate *trace.Series
+	TransmissionRate *probe.Series
 	// ReportedRate is the rate the CM reported to the application.
-	ReportedRate *trace.Series
+	ReportedRate *probe.Series
 	// LayerRate is the nominal rate of the layer the application selected.
-	LayerRate *trace.Series
+	LayerRate *probe.Series
 	// ClientRate is the rate observed at the receiver.
-	ClientRate *trace.Series
+	ClientRate *probe.Series
 	// Stats are the server's counters.
 	Stats app.LayeredStats
 	// ReportsSent is the number of feedback reports the receiver generated.
@@ -192,5 +192,5 @@ func (r AdaptationResult) Table() string {
 
 // CSV renders the adaptation traces as CSV for plotting.
 func (r AdaptationResult) CSV() string {
-	return trace.CSV(r.TransmissionRate, r.ReportedRate, r.LayerRate, r.ClientRate)
+	return probe.CSV(r.TransmissionRate, r.ReportedRate, r.LayerRate, r.ClientRate)
 }

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/probe"
 	"repro/internal/scenario"
-	"repro/internal/trace"
 )
 
 // FailureConfig parameterises the adaptation-under-failure experiment: a
@@ -46,11 +46,12 @@ func (c *FailureConfig) fillDefaults() {
 // run.
 type FailureResult struct {
 	Config FailureConfig
-	// Window is the s0->d0 macroflow congestion window in bytes, sampled
-	// every SampleEvery.
-	Window *trace.Series
+	// Window is the s0 CM's aggregate congestion window in bytes, sampled
+	// every SampleEvery (the dumbbell's s0 drives a single macroflow, so the
+	// aggregate is the s0->d0 macroflow window).
+	Window *probe.Series
 	// Rate is the macroflow's sustainable-rate estimate (bytes/second).
-	Rate *trace.Series
+	Rate *probe.Series
 	// WindowBefore/WindowDuring/WindowAfter summarise the back-off story:
 	// the window just before the outage, at the end of the outage, and at
 	// the end of the run.
@@ -59,7 +60,10 @@ type FailureResult struct {
 	Result *scenario.Result
 }
 
-// RunFailure executes the adaptation-under-failure experiment.
+// RunFailure executes the adaptation-under-failure experiment. The mid-run
+// observation is entirely declarative: two spec probes sample the sender
+// CM's aggregate window and rate, and the back-off summary is computed from
+// the returned series — the runner never drives the scheduler itself.
 func RunFailure(cfg FailureConfig) (FailureResult, error) {
 	cfg.fillDefaults()
 	spec := scenario.FlakyDumbbell(scenario.FlakyDumbbellParams{
@@ -70,38 +74,31 @@ func RunFailure(cfg FailureConfig) (FailureResult, error) {
 			Seed:     cfg.Seed,
 		},
 	})
-	sim, err := scenario.Build(spec)
+	spec.Probes = append(spec.Probes,
+		probe.Spec{Target: "cm[s0].cwnd", Interval: cfg.SampleEvery, Name: "macroflow-cwnd"},
+		probe.Spec{Target: "cm[s0].rate", Interval: cfg.SampleEvery, Name: "macroflow-rate"},
+	)
+	res := FailureResult{Config: cfg}
+	out, err := scenario.Run(spec)
 	if err != nil {
-		return FailureResult{Config: cfg}, err
+		return res, err
 	}
-	if err := sim.Start(); err != nil {
-		return FailureResult{Config: cfg}, err
-	}
-	sched := sim.Scheduler()
-	res := FailureResult{
-		Config: cfg,
-		Window: trace.NewSeries("macroflow-cwnd"),
-		Rate:   trace.NewSeries("macroflow-rate"),
-	}
-	for t := cfg.SampleEvery; t <= cfg.Duration; t += cfg.SampleEvery {
-		sched.RunUntil(t)
-		mf := sim.CM("s0").MacroflowTo("d0")
-		if mf == nil {
-			continue
-		}
-		res.Window.Add(t, float64(mf.Window()))
-		res.Rate.Add(t, mf.Rate())
+	res.Result = out
+	res.Window = &out.Series[len(out.Series)-2]
+	res.Rate = &out.Series[len(out.Series)-1]
+	// The back-off summary is the last sample of each phase: just before the
+	// outage, at its end, and at the end of the run.
+	for i := 0; i < res.Window.Len(); i++ {
+		p := res.Window.At(i)
 		switch {
-		case t <= cfg.DownAt:
-			res.WindowBefore = mf.Window()
-		case t <= cfg.UpAt:
-			res.WindowDuring = mf.Window()
+		case p.T <= cfg.DownAt:
+			res.WindowBefore = int(p.V)
+		case p.T <= cfg.UpAt:
+			res.WindowDuring = int(p.V)
 		default:
-			res.WindowAfter = mf.Window()
+			res.WindowAfter = int(p.V)
 		}
 	}
-	sched.RunUntil(cfg.Duration)
-	res.Result = sim.Finish()
 	return res, nil
 }
 
@@ -140,5 +137,5 @@ func (r FailureResult) Table() string {
 
 // CSV renders the failure traces for plotting.
 func (r FailureResult) CSV() string {
-	return trace.CSV(r.Window, r.Rate)
+	return probe.CSV(r.Window, r.Rate)
 }

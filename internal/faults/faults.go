@@ -114,6 +114,75 @@ func Check(res *scenario.Result) []Violation {
 	return out
 }
 
+// CheckSnapshot validates a mid-run snapshot. It applies every invariant
+// that must hold at all times — non-negative counters, grant conservation,
+// negative-pending, epoch consistency — but skips the quiescence-dependent
+// rules: a flow may legitimately hold a pending request mid-run (it is only
+// stranded if the run *ends* that way), and events later than the snapshot
+// have rightly not fired yet.
+func CheckSnapshot(at *scenario.Snapshot) []Violation {
+	res := at.Result
+	var out []Violation
+	add := func(rule, format string, args ...any) {
+		out = append(out, Violation{
+			Scenario: fmt.Sprintf("%s t=%v", res.Scenario, at.At),
+			Rule:     rule,
+			Detail:   fmt.Sprintf(format, args...),
+		})
+	}
+
+	flat := sweep.Flatten(res)
+	for _, k := range sortedKeys(flat) {
+		if flat[k] < 0 && !signedField(k) {
+			add(RuleNegativeCounter, "%s = %v", k, flat[k])
+		}
+	}
+
+	for _, cmr := range res.CMs {
+		if got, want := cmr.GrantsIssued, cmr.GrantsReclaimed+int64(cmr.OutstandingGrants); got != want {
+			add(RuleGrantConservation,
+				"cm %s: GrantsIssued %d != GrantsReclaimed %d + outstanding %d",
+				cmr.Host, got, cmr.GrantsReclaimed, cmr.OutstandingGrants)
+		}
+		if cmr.NegativePending > 0 {
+			add(RuleNegativePending, "cm %s: %d flow(s) with negative pending requests",
+				cmr.Host, cmr.NegativePending)
+		}
+		if cmr.Epoch != cmr.Restarts {
+			add(RuleEpochMismatch, "cm %s: epoch %d != restarts %d",
+				cmr.Host, cmr.Epoch, cmr.Restarts)
+		}
+	}
+
+	for i, ev := range res.Events {
+		if !ev.PastEnd && !ev.Fired && ev.At <= at.At {
+			add(RuleUnfiredEvent, "event[%d] %s scheduled at %v never fired (snapshot at %v)",
+				i, ev.Kind, ev.At, at.At)
+		}
+	}
+	return out
+}
+
+// CheckSnapshots validates a whole snapshot sequence plus the end state,
+// returning every violation and the time of the first violating snapshot
+// (-1 when only the end state, or nothing, is in violation). Closing the
+// loop on mid-run invariant checking: a leak is reported where it first
+// became visible, not thirty virtual seconds later.
+func CheckSnapshots(snaps []scenario.Snapshot, end *scenario.Result) (all []Violation, firstAt int64) {
+	firstAt = -1
+	for i := range snaps {
+		vs := CheckSnapshot(&snaps[i])
+		if len(vs) > 0 && firstAt < 0 {
+			firstAt = int64(snaps[i].At)
+		}
+		all = append(all, vs...)
+	}
+	if end != nil {
+		all = append(all, Check(end)...)
+	}
+	return all, firstAt
+}
+
 // CheckCampaign runs Check over every raw replicate result of an executed
 // campaign, labelling each violation with its point and replicate.
 func CheckCampaign(cr *sweep.CampaignResult) []Violation {

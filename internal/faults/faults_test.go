@@ -162,3 +162,91 @@ func TestCheckCampaignLabelsViolations(t *testing.T) {
 	}
 	t.Fatalf("epoch-mismatch not among %v", vs)
 }
+
+// churnSnapshots runs the churn scenario with mid-run snapshots every second
+// and returns the snapshot sequence plus the end state.
+func churnSnapshots(t *testing.T) ([]scenario.Snapshot, *scenario.Result) {
+	t.Helper()
+	spec := mustLookup(t, "churn")
+	spec.SnapshotEvery = time.Second
+	sim, err := scenario.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunToEnd()
+	snaps := sim.Snapshots()
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots captured")
+	}
+	return snaps, sim.Finish()
+}
+
+// TestCheckSnapshotsCleanOnChurn extends the core robustness claim into the
+// run: the all-faults-active churn scenario holds every always-true
+// invariant at each mid-run snapshot, not just at the end.
+func TestCheckSnapshotsCleanOnChurn(t *testing.T) {
+	snaps, end := churnSnapshots(t)
+	vs, firstAt := CheckSnapshots(snaps, end)
+	if len(vs) != 0 {
+		t.Fatalf("mid-run violations: %v", vs)
+	}
+	if firstAt != -1 {
+		t.Fatalf("firstAt = %d, want -1 for a clean run", firstAt)
+	}
+}
+
+// TestCheckSnapshotSkipsQuiescenceRules: a mid-run snapshot may legitimately
+// hold a pending request (stranded only if the run ends that way) and has
+// rightly not fired later events, but the always-true invariants still bite.
+func TestCheckSnapshotSkipsQuiescenceRules(t *testing.T) {
+	snaps, _ := churnSnapshots(t)
+	sn := snaps[1]
+
+	sn.Result.CMs[0].StrandedFlows = 3
+	if vs := CheckSnapshot(&sn); len(vs) != 0 {
+		t.Fatalf("stranded-flow flagged mid-run: %v", vs)
+	}
+	sn.Result.CMs[0].StrandedFlows = 0
+
+	sn.Result.CMs[0].GrantsIssued += 7
+	vs := CheckSnapshot(&sn)
+	if len(vs) != 1 || vs[0].Rule != RuleGrantConservation {
+		t.Fatalf("grant corruption yielded %v, want one %s", vs, RuleGrantConservation)
+	}
+	if !strings.Contains(vs[0].Scenario, "t=") {
+		t.Fatalf("snapshot violation %q is missing its capture time", vs[0].Scenario)
+	}
+	sn.Result.CMs[0].GrantsIssued -= 7
+
+	// An event scheduled after the snapshot that has not fired is fine; one
+	// scheduled before it that never fired is a violation.
+	sn.Result.Events = append(sn.Result.Events, dynamics.Record{
+		Event: dynamics.Event{At: sn.At + time.Second, Kind: dynamics.LinkDown},
+	})
+	if vs := CheckSnapshot(&sn); len(vs) != 0 {
+		t.Fatalf("future unfired event flagged: %v", vs)
+	}
+	sn.Result.Events[len(sn.Result.Events)-1].Event.At = sn.At - time.Second
+	vs = CheckSnapshot(&sn)
+	if len(vs) != 1 || vs[0].Rule != RuleUnfiredEvent {
+		t.Fatalf("past unfired event yielded %v, want one %s", vs, RuleUnfiredEvent)
+	}
+}
+
+// TestCheckSnapshotsFirstViolationTime: the reported first-violation time is
+// the capture time of the earliest violating snapshot.
+func TestCheckSnapshotsFirstViolationTime(t *testing.T) {
+	snaps, end := churnSnapshots(t)
+	snaps[2].Result.CMs[0].Epoch += 9
+	snaps[4].Result.CMs[0].Epoch += 9
+	vs, firstAt := CheckSnapshots(snaps, end)
+	if len(vs) != 2 {
+		t.Fatalf("got %d violations, want 2: %v", len(vs), vs)
+	}
+	if want := int64(snaps[2].At); firstAt != want {
+		t.Fatalf("firstAt = %d, want %d (t=%v)", firstAt, want, snaps[2].At)
+	}
+}

@@ -157,6 +157,10 @@ type Link struct {
 	tap func(pkt *Packet)
 	// dropTap observes dropped packets (random or queue drops).
 	dropTap func(pkt *Packet, reason string)
+	// sendTap observes every packet accepted into the transmit queue; the
+	// flight recorder uses it for enqueue events. It runs on the sending
+	// side, unlike tap which runs where the packet is handed up.
+	sendTap func(pkt *Packet)
 
 	// remote, when non-nil, replaces local delivery scheduling: instead of
 	// putting the delivery event on this link's (sending-side) scheduler, the
@@ -232,6 +236,10 @@ func (l *Link) SetTap(fn func(pkt *Packet)) { l.tap = fn }
 // for an out-of-service link, "queue" for buffer overflow).
 func (l *Link) SetDropTap(fn func(pkt *Packet, reason string)) { l.dropTap = fn }
 
+// SetSendTap installs an observer invoked for every packet accepted into the
+// transmit queue (after the loss draws and any drop-tail eviction).
+func (l *Link) SetSendTap(fn func(pkt *Packet)) { l.sendTap = fn }
+
 // RemoteDeliver receives a serialised packet whose delivery belongs to
 // another scheduler: the packet arrives at the destination at time arrive;
 // sent is the sender-side virtual time serialisation completed (the insertion
@@ -306,8 +314,27 @@ func (l *Link) SetDown(down bool) {
 // IsDown reports whether the link is administratively down.
 func (l *Link) IsDown() bool { return l.down }
 
-// Stats returns a copy of the link counters.
+// Stats returns a copy of the link counters. The copy spans both writing
+// sides of the ownership split, so under sharded execution it may only be
+// taken at quiescence (a barrier, or after the run); mid-run samplers use
+// the single-side accessors below instead.
 func (l *Link) Stats() LinkStats { return l.stats }
+
+// SentCounters returns the transmit-side packet and byte counters. Written
+// only by the sending side's scheduler, so a sampler there may read mid-run.
+func (l *Link) SentCounters() (packets int, bytes int64) {
+	return l.stats.SentPackets, l.stats.SentBytes
+}
+
+// DropCount returns queue + loss-process + down drops, all written by the
+// sending side's scheduler.
+func (l *Link) DropCount() int {
+	return l.stats.QueueDrops + l.stats.RandomDrops + l.stats.DownDrops
+}
+
+// DeliveredBytes returns the delivered-octet counter, written only by the
+// receiving side's scheduler (DeliverRemote under sharding).
+func (l *Link) DeliveredBytes() int64 { return l.stats.DeliveredOctets }
 
 // QueueStats returns the counters of the link's buffer.
 func (l *Link) QueueStats() QueueStats { return l.queue.Stats() }
@@ -371,6 +398,9 @@ func (l *Link) Send(pkt *Packet) bool {
 		if victim == pkt {
 			return false
 		}
+	}
+	if l.sendTap != nil {
+		l.sendTap(pkt)
 	}
 	if !l.busy {
 		l.startTransmit()

@@ -1,0 +1,158 @@
+package probe
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// DefaultInterval is the sampling period of a probe that leaves Interval
+// zero. 250 ms matches the coarsest granularity visible in the paper's
+// adaptation figures and is deliberately much larger than any link delay, so
+// a probe's self-rescheduling event never ties a packet delivery on both
+// time and insertion stamp (see the determinism note in internal/scenario).
+const DefaultInterval = 250 * time.Millisecond
+
+// Spec declares one mid-run sampling probe. The target path addresses the
+// sampled quantity; see ParseTarget for the grammar.
+type Spec struct {
+	// Target is the probe path, e.g. "link[0].queue_depth", "cm[s0].rate",
+	// "host[d1].received_bytes" or "shard.lookahead".
+	Target string `json:"target"`
+	// Interval is the sampling period (DefaultInterval when zero). The first
+	// sample is taken one interval into the run and the last at the interval
+	// multiple that is <= the scenario duration.
+	Interval time.Duration `json:"interval,omitempty"`
+	// Name overrides the series name (default: the target path).
+	Name string `json:"name,omitempty"`
+}
+
+// SeriesName returns the name the probe's series will carry.
+func (p Spec) SeriesName() string {
+	if p.Name != "" {
+		return p.Name
+	}
+	return p.Target
+}
+
+// Target kinds.
+const (
+	TargetLink  = "link"
+	TargetHost  = "host"
+	TargetCM    = "cm"
+	TargetShard = "shard"
+)
+
+// Target is a parsed probe path.
+type Target struct {
+	// Kind is TargetLink, TargetHost, TargetCM or TargetShard.
+	Kind string
+	// Index is the Spec.Links index of a TargetLink (forward direction).
+	Index int
+	// Host is the host name of a TargetHost or TargetCM.
+	Host string
+	// Field is the sampled quantity.
+	Field string
+}
+
+// linkFields, hostFields, cmFields and shardFields are the valid Field sets
+// per target kind (documented in docs/OBSERVABILITY.md).
+var (
+	linkFields = map[string]bool{
+		"queue_depth":     true, // packets queued right now
+		"sent_packets":    true,
+		"sent_bytes":      true,
+		"delivered_bytes": true, // sampled on the receiving host's shard
+		"drops":           true, // queue + loss + burst + down drops
+		"utilization":     true, // busy fraction of elapsed virtual time
+	}
+	hostFields = map[string]bool{
+		"sent_packets":      true,
+		"sent_bytes":        true,
+		"received_packets":  true,
+		"received_bytes":    true,
+		"forwarded_packets": true,
+	}
+	cmFields = map[string]bool{
+		"rate":        true, // sum of macroflow rates, bytes/s
+		"cwnd":        true, // sum of macroflow congestion windows, bytes
+		"srtt":        true, // max macroflow smoothed RTT, seconds
+		"loss_rate":   true, // max macroflow loss rate
+		"outstanding": true, // sum of outstanding (granted, unreported) bytes
+		"flows":       true,
+		"macroflows":  true,
+	}
+	shardFields = map[string]bool{
+		"count":     true,
+		"lookahead": true, // seconds
+	}
+)
+
+// ParseTarget parses a probe path. The grammar mirrors the sweep axis
+// language:
+//
+//	link[<index>].<field>   index into Spec.Links (forward direction)
+//	host[<name>].<field>    a node by name
+//	cm[<host>].<field>      the Congestion Manager on a host
+//	shard.<field>           the sharded-execution plan
+//
+// Host names may themselves contain dots and brackets-free suffixes
+// ("h0.e1.p2"), so the field is whatever follows the bracket's closing "]".
+func ParseTarget(s string) (Target, error) {
+	if open := strings.IndexByte(s, '['); open >= 0 {
+		closing := strings.IndexByte(s, ']')
+		if closing < open {
+			return Target{}, fmt.Errorf("probe target %q: unbalanced brackets", s)
+		}
+		t := Target{Kind: s[:open]}
+		arg := s[open+1 : closing]
+		rest := s[closing+1:]
+		if !strings.HasPrefix(rest, ".") || len(rest) < 2 {
+			return Target{}, fmt.Errorf("probe target %q: missing field after %q", s, s[:closing+1])
+		}
+		t.Field = rest[1:]
+		switch t.Kind {
+		case TargetLink:
+			idx, err := strconv.Atoi(arg)
+			if err != nil || idx < 0 {
+				return Target{}, fmt.Errorf("probe target %q: link index %q must be a non-negative integer", s, arg)
+			}
+			t.Index = idx
+			return t, checkField(s, t.Field, linkFields)
+		case TargetHost:
+			if arg == "" {
+				return Target{}, fmt.Errorf("probe target %q: empty host name", s)
+			}
+			t.Host = arg
+			return t, checkField(s, t.Field, hostFields)
+		case TargetCM:
+			if arg == "" {
+				return Target{}, fmt.Errorf("probe target %q: empty host name", s)
+			}
+			t.Host = arg
+			return t, checkField(s, t.Field, cmFields)
+		default:
+			return Target{}, fmt.Errorf("probe target %q: unknown kind %q (want link, host, cm or shard)", s, t.Kind)
+		}
+	}
+	kind, field, ok := strings.Cut(s, ".")
+	if !ok || kind != TargetShard || field == "" {
+		return Target{}, fmt.Errorf("probe target %q: want link[i].<field>, host[name].<field>, cm[host].<field> or shard.<field>", s)
+	}
+	t := Target{Kind: TargetShard, Field: field}
+	return t, checkField(s, field, shardFields)
+}
+
+func checkField(target, field string, valid map[string]bool) error {
+	if valid[field] {
+		return nil
+	}
+	names := make([]string, 0, len(valid))
+	for f := range valid {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	return fmt.Errorf("probe target %q: unknown field %q (valid: %s)", target, field, strings.Join(names, ", "))
+}

@@ -1,0 +1,143 @@
+package probe
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// EventKind classifies a flight-recorder event.
+type EventKind uint8
+
+// Flight-recorder event kinds.
+const (
+	EvNone    EventKind = iota
+	EvEnqueue           // packet accepted into a link's transmit queue
+	EvDrop              // packet dropped at a link (Note carries the reason)
+	EvDeliver           // packet handed up to the receiving host
+	EvRequest           // CM flow asked for permission to send (cm_request)
+	EvGrant             // CM issued a send grant (cmapp_send callback)
+	EvNotify            // application charged bytes to a CM flow (cm_notify)
+	EvRoute             // routing tables recomputed (Size = changed entries)
+	EvFault             // host-level fault event applied (Note = event kind)
+)
+
+// String returns the stable wire name of the kind, used by Dump and the
+// docs/OBSERVABILITY.md schema.
+func (k EventKind) String() string {
+	switch k {
+	case EvEnqueue:
+		return "pkt-enqueue"
+	case EvDrop:
+		return "pkt-drop"
+	case EvDeliver:
+		return "pkt-deliver"
+	case EvRequest:
+		return "cm-request"
+	case EvGrant:
+		return "cm-grant"
+	case EvNotify:
+		return "cm-notify"
+	case EvRoute:
+		return "route-change"
+	case EvFault:
+		return "fault"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one structured flight-recorder entry. Note only ever carries a
+// string that is constant for the recording site (a link name, a drop
+// reason, a dynamics event kind), so recording an Event allocates nothing.
+type Event struct {
+	At   time.Duration
+	Kind EventKind
+	// Flow identifies the CM flow of a cm-* event (zero otherwise).
+	Flow int64
+	// Size is the byte count the event concerns: packet size, granted bytes,
+	// notified bytes, or changed route entries for a route-change.
+	Size int64
+	// Note is site-specific constant detail: the link name for packet
+	// events, the drop reason, the fault kind.
+	Note string
+}
+
+// Recorder is a fixed-capacity ring buffer of Events. Append is
+// allocation-free in steady state (the buffer is laid out once at
+// construction), so a recorder can stay attached to hot paths.
+//
+// A Recorder is single-writer: in the simulator each host's recorder is only
+// appended to from that host's scheduler (its shard worker, or control
+// phases), which is the same discipline every other per-host structure
+// follows.
+type Recorder struct {
+	buf   []Event
+	next  int
+	total uint64
+}
+
+// NewRecorder returns a recorder keeping the last depth events
+// (default 1024 when depth <= 0).
+func NewRecorder(depth int) *Recorder {
+	if depth <= 0 {
+		depth = 1024
+	}
+	return &Recorder{buf: make([]Event, depth)}
+}
+
+// Append records one event, overwriting the oldest once the ring is full.
+func (r *Recorder) Append(ev Event) {
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+	}
+	r.total++
+}
+
+// Len returns the number of events currently held (<= depth).
+func (r *Recorder) Len() int {
+	if r.total < uint64(len(r.buf)) {
+		return int(r.total)
+	}
+	return len(r.buf)
+}
+
+// Total returns the number of events ever appended, including overwritten
+// ones.
+func (r *Recorder) Total() uint64 { return r.total }
+
+// Events returns the retained events in chronological (append) order.
+func (r *Recorder) Events() []Event {
+	if r.total < uint64(len(r.buf)) {
+		return append([]Event(nil), r.buf[:r.total]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Dump writes the retained events as one line each, oldest first, prefixed
+// with the owner label:
+//
+//	s0 t=1.234567s pkt-drop size=1448 note=queue
+func (r *Recorder) Dump(w io.Writer, owner string) {
+	for _, ev := range r.Events() {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s t=%.6fs %s", owner, ev.At.Seconds(), ev.Kind)
+		if ev.Flow != 0 {
+			fmt.Fprintf(&b, " flow=%d", ev.Flow)
+		}
+		if ev.Size != 0 {
+			fmt.Fprintf(&b, " size=%d", ev.Size)
+		}
+		if ev.Note != "" {
+			fmt.Fprintf(&b, " note=%s", ev.Note)
+		}
+		b.WriteString("\n")
+		io.WriteString(w, b.String())
+	}
+}

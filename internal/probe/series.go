@@ -1,7 +1,13 @@
-// Package trace provides time-series recording and summary statistics for the
-// experiment harness. The paper's figures 8–10 plot transmission rate and
-// CM-reported rate against time; this package produces those series.
-package trace
+// Package probe is the simulation-wide observability layer: declarative
+// mid-run sampling probes (time series), a zero-allocation flight recorder of
+// structured trace events, and wall-clock execution timelines exported as
+// Chrome trace_event JSON.
+//
+// The package deliberately imports nothing but the standard library so every
+// layer of the simulator (netsim, cm, scenario, sweep) can depend on it
+// without cycles. Everything here is observation-only: nothing consumes
+// random numbers or mutates simulation state.
+package probe
 
 import (
 	"fmt"
@@ -13,14 +19,16 @@ import (
 
 // Point is one sample of a time series.
 type Point struct {
-	T time.Duration
-	V float64
+	T time.Duration `json:"t"`
+	V float64       `json:"v"`
 }
 
-// Series is an append-only time series.
+// Series is an append-only time series. Fields are exported (unlike the old
+// internal/trace predecessor) so a scenario Result carrying probe series can
+// be JSON-encoded and byte-compared across serial/parallel/sharded runs.
 type Series struct {
-	Name   string
-	points []Point
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
 }
 
 // NewSeries returns an empty series with the given name.
@@ -29,34 +37,34 @@ func NewSeries(name string) *Series { return &Series{Name: name} }
 // Add appends a sample. Samples should be added in non-decreasing time order;
 // out-of-order samples are accepted but Resample assumes ordering.
 func (s *Series) Add(t time.Duration, v float64) {
-	s.points = append(s.points, Point{T: t, V: v})
+	s.Points = append(s.Points, Point{T: t, V: v})
 }
 
 // Len returns the number of samples.
-func (s *Series) Len() int { return len(s.points) }
-
-// Points returns a copy of the samples.
-func (s *Series) Points() []Point {
-	out := make([]Point, len(s.points))
-	copy(out, s.points)
-	return out
-}
+func (s *Series) Len() int { return len(s.Points) }
 
 // At returns the i-th sample.
-func (s *Series) At(i int) Point { return s.points[i] }
+func (s *Series) At(i int) Point { return s.Points[i] }
 
 // Last returns the most recent sample and whether the series is non-empty.
 func (s *Series) Last() (Point, bool) {
-	if len(s.points) == 0 {
+	if len(s.Points) == 0 {
 		return Point{}, false
 	}
-	return s.points[len(s.points)-1], true
+	return s.Points[len(s.Points)-1], true
+}
+
+// Freeze returns a value copy of the series whose Points slice is detached
+// from the live one, so a result collected mid-run (a snapshot) is immune to
+// later sampling appends.
+func (s *Series) Freeze() Series {
+	return Series{Name: s.Name, Points: append([]Point(nil), s.Points...)}
 }
 
 // Values returns just the sample values.
 func (s *Series) Values() []float64 {
-	out := make([]float64, len(s.points))
-	for i, p := range s.points {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
 		out[i] = p.V
 	}
 	return out
@@ -65,23 +73,23 @@ func (s *Series) Values() []float64 {
 // Mean returns the arithmetic mean of the sample values (0 for an empty
 // series).
 func (s *Series) Mean() float64 {
-	if len(s.points) == 0 {
+	if len(s.Points) == 0 {
 		return 0
 	}
 	var sum float64
-	for _, p := range s.points {
+	for _, p := range s.Points {
 		sum += p.V
 	}
-	return sum / float64(len(s.points))
+	return sum / float64(len(s.Points))
 }
 
 // Min and Max return the extreme sample values (0 for an empty series).
 func (s *Series) Min() float64 {
-	if len(s.points) == 0 {
+	if len(s.Points) == 0 {
 		return 0
 	}
-	m := s.points[0].V
-	for _, p := range s.points {
+	m := s.Points[0].V
+	for _, p := range s.Points {
 		if p.V < m {
 			m = p.V
 		}
@@ -91,11 +99,11 @@ func (s *Series) Min() float64 {
 
 // Max returns the maximum sample value.
 func (s *Series) Max() float64 {
-	if len(s.points) == 0 {
+	if len(s.Points) == 0 {
 		return 0
 	}
-	m := s.points[0].V
-	for _, p := range s.points {
+	m := s.Points[0].V
+	for _, p := range s.Points {
 		if p.V > m {
 			m = p.V
 		}
@@ -109,7 +117,7 @@ func (s *Series) Max() float64 {
 // present adaptation traces.
 func (s *Series) Resample(start, end, width time.Duration) *Series {
 	if width <= 0 {
-		panic("trace: Resample width must be positive")
+		panic("probe: Resample width must be positive")
 	}
 	out := NewSeries(s.Name)
 	if end < start {
@@ -117,7 +125,7 @@ func (s *Series) Resample(start, end, width time.Duration) *Series {
 	}
 	var prev float64
 	i := 0
-	pts := s.points
+	pts := s.Points
 	for t := start; t <= end; t += width {
 		var sum float64
 		var n int
@@ -143,8 +151,8 @@ func (s *Series) Resample(start, end, width time.Duration) *Series {
 // compare the ALF and rate-callback traces (Fig. 8 vs Fig. 9).
 func (s *Series) TransitionCount() int {
 	n := 0
-	for i := 1; i < len(s.points); i++ {
-		if s.points[i].V != s.points[i-1].V {
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].V != s.Points[i-1].V {
 			n++
 		}
 	}
@@ -207,7 +215,7 @@ type RateEstimator struct {
 // name from byte arrivals, in bytes per second.
 func NewRateEstimator(name string, window time.Duration) *RateEstimator {
 	if window <= 0 {
-		panic("trace: RateEstimator window must be positive")
+		panic("probe: RateEstimator window must be positive")
 	}
 	return &RateEstimator{window: window, series: NewSeries(name)}
 }

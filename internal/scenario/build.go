@@ -10,6 +10,7 @@ import (
 	"repro/internal/libcm"
 	"repro/internal/netsim"
 	"repro/internal/node"
+	"repro/internal/probe"
 	"repro/internal/simtime"
 )
 
@@ -45,6 +46,16 @@ type Sim struct {
 	// drivers track the declarative workloads once Start has run.
 	drivers []*flowDriver
 	started bool
+
+	// samplers are the compiled Spec.Probes sampling chains (installed by
+	// Start); recorders the per-host flight-recorder rings (nil unless
+	// Spec.TraceDepth > 0); snaps the mid-run snapshots accumulated when
+	// Spec.SnapshotEvery > 0; execTL the wall-clock execution timeline
+	// attached by EnableExecutionTimeline. See probes.go.
+	samplers  []*probeSampler
+	recorders map[string]*probe.Recorder
+	snaps     []Snapshot
+	execTL    *probe.Timeline
 }
 
 // Build validates the spec, creates the hosts, routers and links, computes
@@ -216,13 +227,21 @@ func Build(spec Spec) (*Sim, error) {
 		sim.injectors[h] = libcm.NewInjector(spec.Seed + int64(i+1)*subSeedStride + 0x5eed)
 	}
 
+	// The flight recorder attaches before the dynamics timeline so even
+	// time-zero events are captured.
+	sim.installTrace()
+
 	// The dynamics timeline is installed last so its time-zero events (static
 	// asymmetries and initial loss modes) see the fully wired topology. A
 	// sharded build uses the externally-driven mode: positive-time events
 	// fire at synchronization barriers instead of on a scheduler.
 	if len(spec.Events) > 0 {
 		sim.timeline = dynamics.NewTimeline(sim.sched, spec.Events, sim.resolveEventLinks,
-			func(dynamics.Event) int { return sim.recomputeRoutes() })
+			func(ev dynamics.Event) int {
+				changed := sim.recomputeRoutes()
+				sim.recordRouteEvent(ev, changed)
+				return changed
+			})
 		sim.timeline.SetHostHook(sim.applyHostEvent)
 		sim.timeline.SetHorizon(spec.Duration)
 		sim.timeline.Install()
@@ -268,9 +287,24 @@ func expandHostMoves(events []dynamics.Event) []dynamics.Event {
 	return out
 }
 
+// recordRouteEvent notes a fired link-dynamics event — and the routing churn
+// it caused — in the flight recorders of the affected link's endpoints. The
+// hook runs in single-threaded phases (build, serial scheduler, barriers),
+// so writing both rings here is race-free.
+func (s *Sim) recordRouteEvent(ev dynamics.Event, changed int) {
+	if s.recorders == nil || ev.Link < 0 || ev.Link >= len(s.Spec.Links) {
+		return
+	}
+	ls := s.Spec.Links[ev.Link]
+	e := probe.Event{At: s.now(), Kind: probe.EvRoute, Size: int64(changed), Note: ev.Kind}
+	s.recordHostEvent(ls.A, e)
+	s.recordHostEvent(ls.B, e)
+}
+
 // applyHostEvent is the dynamics.HostHook of this simulation: it realises
 // host-level fault events against the built topology and CMs.
 func (s *Sim) applyHostEvent(ev dynamics.Event) dynamics.HostOutcome {
+	s.recordHostEvent(ev.Host, probe.Event{At: s.now(), Kind: probe.EvFault, Note: ev.Kind})
 	var out dynamics.HostOutcome
 	switch ev.Kind {
 	case dynamics.CMRestart:

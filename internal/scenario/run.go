@@ -11,6 +11,7 @@ import (
 	"repro/internal/libcm"
 	"repro/internal/netsim"
 	"repro/internal/node"
+	"repro/internal/probe"
 	"repro/internal/tcp"
 )
 
@@ -95,6 +96,13 @@ type Result struct {
 	// Events records the executed dynamics timeline: which scheduled network
 	// events fired and how many routing-table entries each changed.
 	Events []dynamics.Record `json:"events,omitempty"`
+	// Series holds the sampled time series of the spec's declarative probes,
+	// one per Spec.Probes entry in declaration order. Sampling runs on the
+	// simulation's virtual clock, so the series — like every other Result
+	// field — are byte-identical across serial, parallel and sharded
+	// execution (shard.* probes excepted: they describe the execution plan
+	// itself).
+	Series []probe.Series `json:"series,omitempty"`
 }
 
 // flowDriver tracks one declarative flow while the simulation runs.
@@ -121,11 +129,7 @@ func Run(spec Spec) (*Result, error) {
 	if err := sim.Start(); err != nil {
 		return nil, err
 	}
-	if sim.shard != nil {
-		sim.shard.run(sim.Spec.Duration, sim.timeline, sim.Spec.Events)
-	} else {
-		sim.sched.RunUntil(sim.Spec.Duration)
-	}
+	sim.RunToEnd()
 	return sim.Finish(), nil
 }
 
@@ -143,6 +147,13 @@ func (s *Sim) Start() error {
 		return err
 	}
 	s.drivers = drivers
+	// Probes install after the workloads so their sampling events land behind
+	// every workload event in per-scheduler insertion order — the same
+	// relative order in serial and sharded builds.
+	if err := s.installProbes(); err != nil {
+		return err
+	}
+	s.installSnapshots()
 	return nil
 }
 
@@ -393,6 +404,9 @@ func (s *Sim) collect(drivers []*flowDriver) *Result {
 	}
 	if s.timeline != nil {
 		res.Events = s.timeline.Records()
+	}
+	for _, sp := range s.samplers {
+		res.Series = append(res.Series, sp.series.Freeze())
 	}
 	return res
 }

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/dynamics"
 	"repro/internal/netsim"
+	"repro/internal/probe"
 	"repro/internal/simtime"
 )
 
@@ -65,15 +66,31 @@ type shardState struct {
 	done    chan struct{}
 	free    []*shardMsg // recycled InjectAt arguments, owned by this shard
 	fire    func(any)   // built once: delivers a *shardMsg on this shard
+
+	// tl, when set by EnableExecutionTimeline, records one wall-clock span
+	// per executed window on this shard's lane. Each lane is written only by
+	// its own worker, so no synchronization beyond the window channels.
+	tl   *probe.Timeline
+	lane int
 }
 
 func (ss *shardState) loop() {
 	for req := range ss.cmd {
 		ss.running.Store(true)
+		var t0, v0 time.Duration
+		if ss.tl != nil {
+			t0, v0 = ss.tl.Since(), ss.sched.Now()
+		}
 		if req.inclusive {
 			ss.sched.RunUntil(req.until)
 		} else {
 			ss.sched.RunUntilBefore(req.until)
+		}
+		if ss.tl != nil {
+			ss.tl.Add(ss.lane, probe.Span{
+				Name: "window", Start: t0, Dur: ss.tl.Since() - t0,
+				VirtStart: v0, VirtEnd: req.until,
+			})
 		}
 		ss.running.Store(false)
 		ss.done <- struct{}{}
@@ -98,6 +115,15 @@ type shardRun struct {
 	states  []*shardState
 	queues  [][]*handoff // [source shard][destination shard]
 	control atomic.Bool  // single-threaded coordinator phase (build, barriers)
+
+	// snap, when set, captures a mid-run snapshot at every multiple of
+	// snapEvery; the coordinator folds those instants into the barrier
+	// schedule so every shard is quiescent exactly then (see probes.go).
+	snapEvery time.Duration
+	snap      func(at time.Duration)
+	// timeline, when set, gets one "barrier" span on the coordinator lane
+	// (index nshards) per synchronization barrier.
+	timeline *probe.Timeline
 }
 
 func newShardRun(plan shardPlan) *shardRun {
@@ -180,7 +206,8 @@ func (sr *shardRun) window(until time.Duration, inclusive bool) {
 // TestShardedRunsAreByteIdentical); a workload engineered to make two
 // different shards insert same-arrival events at the same nanosecond could
 // in principle diverge from serial.
-func (sr *shardRun) drain() {
+func (sr *shardRun) drain() int {
+	n := 0
 	for dst, ds := range sr.states {
 		for src := range sr.states {
 			q := sr.queues[src][dst]
@@ -189,9 +216,11 @@ func (sr *shardRun) drain() {
 				*m = q.msgs[i]
 				ds.sched.InjectAt(m.arrive, m.sent, ds.fire, m)
 			}
+			n += len(q.msgs)
 			q.msgs = q.msgs[:0]
 		}
 	}
+	return n
 }
 
 // run executes the sharded simulation for duration d, firing the dynamics
@@ -214,6 +243,16 @@ func (sr *shardRun) run(d time.Duration, tl *dynamics.Timeline, events []dynamic
 	}
 	sort.Slice(dyn, func(i, j int) bool { return dyn[i] < dyn[j] })
 
+	// Snapshot instants join the barrier schedule like dynamics events:
+	// windows never straddle one, so the capture sees every shard stopped
+	// exactly at its timestamp. A snapshot due at exactly d waits for the
+	// final inclusive window, matching the serial path where the snapshot
+	// event at d fires within RunUntil(d).
+	nextSnap := time.Duration(0)
+	if sr.snapEvery > 0 && sr.snap != nil {
+		nextSnap = sr.snapEvery
+	}
+
 	w := time.Duration(0)
 	for w < d {
 		end := d
@@ -226,17 +265,37 @@ func (sr *shardRun) run(d time.Duration, tl *dynamics.Timeline, events []dynamic
 		if len(dyn) > 0 && dyn[0] < end {
 			end = dyn[0]
 		}
+		if nextSnap > 0 && nextSnap > w && nextSnap < end {
+			end = nextSnap
+		}
 		sr.window(end, false)
+		var t0 time.Duration
+		if sr.timeline != nil {
+			t0 = sr.timeline.Since()
+		}
 		for _, ss := range sr.states {
 			ss.sched.AdvanceTo(end)
 		}
-		sr.drain()
+		injected := sr.drain()
+		if sr.timeline != nil {
+			sr.timeline.Add(sr.plan.nshards, probe.Span{
+				Name: "barrier", Start: t0, Dur: sr.timeline.Since() - t0,
+				VirtStart: end, VirtEnd: end, Count: injected,
+			})
+		}
 		if tl != nil && len(dyn) > 0 && dyn[0] == end {
 			tl.Advance(end)
+		}
+		if nextSnap > 0 && nextSnap == end && end < d {
+			sr.snap(end)
+			nextSnap += sr.snapEvery
 		}
 		w = end
 	}
 	sr.window(d, true)
+	if nextSnap > 0 && nextSnap == d {
+		sr.snap(d)
+	}
 	for _, ss := range sr.states {
 		close(ss.cmd)
 	}

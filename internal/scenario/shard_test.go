@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dynamics"
 	"repro/internal/netsim"
+	"repro/internal/probe"
 )
 
 // TestShardedRunsAreByteIdentical is the sharded-execution acceptance check:
@@ -46,6 +47,23 @@ func TestShardedRunsAreByteIdentical(t *testing.T) {
 				spec.Workloads[i].Start = 0
 			}
 		}
+		// Observability must be observation-only: identical results with
+		// probes sampling mid-run and the flight recorder armed. The link
+		// probes split across the field-ownership boundary (queue depth on
+		// the sending shard, delivered bytes on the receiving one), and the
+		// host probe rides the first workload's source host.
+		spec.Probes = []probe.Spec{
+			{Target: "link[0].queue_depth"},
+			{Target: "link[0].delivered_bytes"},
+			{Target: "host[" + spec.Workloads[0].From + "].sent_bytes"},
+		}
+		for _, w := range spec.Workloads {
+			if w.CC == CCCM {
+				spec.Probes = append(spec.Probes, probe.Spec{Target: "cm[" + w.From + "].cwnd"})
+				break
+			}
+		}
+		spec.TraceDepth = 256
 		serial, err := Run(spec)
 		if err != nil {
 			t.Fatal(err)

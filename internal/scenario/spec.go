@@ -19,6 +19,7 @@ import (
 	"repro/internal/cm"
 	"repro/internal/dynamics"
 	"repro/internal/netsim"
+	"repro/internal/probe"
 )
 
 // Congestion-control selectors for workloads, mirroring tcp.CCCM/CCNative
@@ -151,6 +152,24 @@ type Spec struct {
 	// suffix "p2"). A router absent from the map covers its own name: hosts
 	// under an edge switch "e1.p2" are named "h<i>.e1.p2".
 	Domains map[string]string `json:"domains,omitempty"`
+	// Probes declares mid-run sampling probes. Each probe samples its target
+	// (see probe.ParseTarget for the path grammar) every Interval of virtual
+	// time via a self-rescheduling scheduler event and yields one entry of
+	// Result.Series. Probes are observation-only: they consume no randomness
+	// and mutate nothing, so results stay byte-identical with or without
+	// them, serial or sharded (see docs/OBSERVABILITY.md).
+	Probes []probe.Spec `json:"probes,omitempty"`
+	// TraceDepth, when positive, enables the flight recorder: every host
+	// gets a fixed ring of the last TraceDepth structured trace events
+	// (packet enqueue/drop/deliver, CM request/grant/notify, faults). Zero
+	// disables tracing, which is the allocation-free default.
+	TraceDepth int `json:"trace_depth,omitempty"`
+	// SnapshotEvery, when positive, captures a full mid-run Result every
+	// such period so invariants can be checked as the run unfolds
+	// (faults.CheckSnapshot) instead of at the end only. Snapshots are
+	// observation-only and are reported via Sim.Snapshots, never inside the
+	// Result itself.
+	SnapshotEvery time.Duration `json:"snapshot_every,omitempty"`
 	// CMOpts configures every Congestion Manager the spec instantiates. It
 	// is programmatic-only state (functions), invisible to JSON.
 	CMOpts []cm.Option `json:"-"`
@@ -347,6 +366,35 @@ func (s *Spec) Validate() error {
 				return fmt.Errorf("generator %d: %w", i, err)
 			}
 		}
+	}
+	for i, p := range s.Probes {
+		t, err := probe.ParseTarget(p.Target)
+		if err != nil {
+			return fmt.Errorf("scenario %q: probe %d: %w", s.Name, i, err)
+		}
+		if p.Interval < 0 {
+			return fmt.Errorf("scenario %q: probe %d: negative interval %v", s.Name, i, p.Interval)
+		}
+		switch t.Kind {
+		case probe.TargetLink:
+			if t.Index >= len(s.Links) {
+				return fmt.Errorf("scenario %q: probe %d: link index %d out of range (%d links)", s.Name, i, t.Index, len(s.Links))
+			}
+		case probe.TargetHost:
+			if !nodes[t.Host] {
+				return fmt.Errorf("scenario %q: probe %d: host %q not in topology", s.Name, i, t.Host)
+			}
+		case probe.TargetCM:
+			if !cmHost[t.Host] {
+				return fmt.Errorf("scenario %q: probe %d: host %q runs no Congestion Manager", s.Name, i, t.Host)
+			}
+		}
+	}
+	if s.TraceDepth < 0 {
+		return fmt.Errorf("scenario %q: negative trace depth %d", s.Name, s.TraceDepth)
+	}
+	if s.SnapshotEvery < 0 {
+		return fmt.Errorf("scenario %q: negative snapshot period %v", s.Name, s.SnapshotEvery)
 	}
 	if s.Shards < 0 {
 		return fmt.Errorf("scenario %q: negative shard count %d", s.Name, s.Shards)

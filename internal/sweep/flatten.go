@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/probe"
 	"repro/internal/scenario"
 )
 
@@ -29,9 +30,29 @@ import (
 //	total.flows             total.retransmissions  total.timeouts
 //	total.queue_drops       total.bernoulli_drops  total.burst_drops
 //	total.down_drops        total.forwarded_packets
+//
+// Probe series are not walked point by point (a long run would explode the
+// key space); each series instead contributes its summary under the reserved
+// "probe." prefix:
+//
+//	probe.<name>.mean  probe.<name>.min  probe.<name>.max
+//	probe.<name>.last  probe.<name>.samples
 func Flatten(res *scenario.Result) map[string]float64 {
 	out := make(map[string]float64)
 	flattenValue(reflect.ValueOf(res).Elem(), "", out)
+	for i := range res.Series {
+		s := &res.Series[i]
+		prefix := "probe." + s.Name
+		out[prefix+".mean"] = s.Mean()
+		out[prefix+".min"] = s.Min()
+		out[prefix+".max"] = s.Max()
+		if p, ok := s.Last(); ok {
+			out[prefix+".last"] = p.V
+		} else {
+			out[prefix+".last"] = 0
+		}
+		out[prefix+".samples"] = float64(s.Len())
+	}
 
 	var delivered, rtx, timeouts int64
 	var completed int
@@ -72,9 +93,15 @@ func Flatten(res *scenario.Result) map[string]float64 {
 	return out
 }
 
-var durationType = reflect.TypeOf(time.Duration(0))
+var (
+	durationType    = reflect.TypeOf(time.Duration(0))
+	seriesSliceType = reflect.TypeOf([]probe.Series(nil))
+)
 
 func flattenValue(v reflect.Value, prefix string, out map[string]float64) {
+	if v.Type() == seriesSliceType {
+		return // summarised under "probe." by Flatten, never walked raw
+	}
 	switch v.Kind() {
 	case reflect.Struct:
 		t := v.Type()

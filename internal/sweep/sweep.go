@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"repro/internal/dynamics"
+	"repro/internal/probe"
 	"repro/internal/scenario"
 	"repro/internal/sweep/stats"
 )
@@ -170,10 +171,17 @@ type Campaign struct {
 	Metrics []string `json:"metrics,omitempty"`
 	// Shards applies sharded execution to every expanded spec (optional).
 	Shards int `json:"shards,omitempty"`
+	// Probes appends declarative sampling probes (see internal/probe) to
+	// every expanded spec, after any the base spec already carries. Each
+	// probe's series feeds the aggregation layer as probe.<name>.{mean,min,
+	// max,last,samples} metrics — covered by DefaultMetrics, so adding a
+	// campaign probe immediately adds columns to the CSV.
+	Probes []probe.Spec `json:"probes,omitempty"`
 }
 
-// DefaultMetrics aggregates the derived whole-run totals.
-var DefaultMetrics = []string{"total.*"}
+// DefaultMetrics aggregates the derived whole-run totals plus the summaries
+// of any declared probes.
+var DefaultMetrics = []string{"total.*", "probe.*"}
 
 // seedPointStride and seedReplicateStride derive per-run seeds:
 //
@@ -320,6 +328,9 @@ func (c Campaign) Expand() ([]Point, error) {
 			if c.Shards > 0 {
 				spec.Shards = c.Shards
 			}
+			if len(c.Probes) > 0 {
+				spec.Probes = append(append([]probe.Spec(nil), spec.Probes...), c.Probes...)
+			}
 			for k, v := range pt.Values {
 				if _, ok := paramAxis(c.Axes[k].Param); ok {
 					continue // already resolved into pointBase
@@ -363,6 +374,7 @@ func cloneSpec(s scenario.Spec) scenario.Spec {
 		}
 	}
 	s.Generators = append([]dynamics.Generator(nil), s.Generators...)
+	s.Probes = append([]probe.Spec(nil), s.Probes...)
 	s.HierRoots = append([]string(nil), s.HierRoots...)
 	if s.Domains != nil {
 		d := make(map[string]string, len(s.Domains))

@@ -2,11 +2,13 @@ package sweep
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/dynamics"
 	"repro/internal/netsim"
+	"repro/internal/probe"
 	"repro/internal/scenario"
 )
 
@@ -462,5 +464,59 @@ func TestCampaignRecordsErrors(t *testing.T) {
 	}
 	if res.Points[1].Failed != 1 || len(res.Points[1].Errors) != 1 {
 		t.Fatalf("invalid point not recorded: %+v", res.Points[1])
+	}
+}
+
+// TestCampaignProbeMetrics: campaign-level probes land on every expanded
+// spec, their series summarise into probe.* metrics under the default metric
+// selection, and the columns appear in the CSV.
+func TestCampaignProbeMetrics(t *testing.T) {
+	base := scenario.PointToPoint(scenario.PointToPointParams{
+		Link: netsim.LinkConfig{Bandwidth: 4 * netsim.Mbps, Delay: 10 * time.Millisecond, QueuePackets: 60},
+		Workloads: []scenario.Workload{
+			{Kind: scenario.KindBulk, From: "sender", To: "receiver", Bytes: 1 << 20, CC: scenario.CCCM},
+		},
+		Duration: 4 * time.Second,
+	})
+	base.Name = "probe-sweep"
+	camp := Campaign{
+		Name: "probe-sweep",
+		Base: &base,
+		Axes: []Axis{{Param: "link[0].loss", Values: []float64{0, 0.01}}},
+		Probes: []probe.Spec{
+			{Target: "link[0].queue_depth"},
+			{Target: "link[0].utilization"},
+			{Target: "cm[sender].cwnd", Name: "cwnd"},
+		},
+		Replicates: 2,
+	}
+	res, err := camp.Run(scenario.Runner{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range res.Points {
+		for _, key := range []string{
+			"probe.link[0].queue_depth.mean", "probe.link[0].utilization.max",
+			"probe.cwnd.last", "probe.cwnd.samples", "total.delivered_bytes",
+		} {
+			if _, ok := pt.Metrics[key]; !ok {
+				t.Fatalf("point %d is missing metric %q", pt.Index, key)
+			}
+		}
+		if got := pt.Metrics["probe.cwnd.samples"].Mean; got != 16 {
+			t.Fatalf("point %d: cwnd samples = %v, want 16 (4s at 250ms)", pt.Index, got)
+		}
+	}
+	csv := res.CSV()
+	for _, col := range []string{"probe.cwnd.mean", "probe.link[0].queue_depth.max"} {
+		if !strings.Contains(csv, col) {
+			t.Fatalf("CSV is missing %q", col)
+		}
+	}
+	// The raw per-point series must never leak into the flattened key space.
+	for key := range res.Points[0].Metrics {
+		if strings.Contains(key, "series[") || strings.Contains(key, ".points[") {
+			t.Fatalf("raw series key %q leaked into metrics", key)
+		}
 	}
 }
