@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench perf bench-smoke sweep-smoke soak-smoke fattree-smoke probe-smoke
+.PHONY: ci vet build test race bench perf bench-smoke sweep-smoke soak-smoke fattree-smoke probe-smoke route-smoke
 
 ci: vet build race bench
 
@@ -29,11 +29,12 @@ perf:
 	$(GO) run ./cmd/cmbench -experiment perf -perfout BENCH_1.json
 
 # Per-PR perf trajectory point: the core-loop + sharded-scenario + fat-tree
-# and 100k-host ISP build benchmarks written to BENCH_8.json (CI uploads it
-# as an artifact) and diffed against the newest committed BENCH_*.json — any
-# shared benchmark regressing >25% in ns/op fails the target.
+# (oracle and protocol control plane) and 100k-host ISP build benchmarks
+# written to BENCH_9.json (CI uploads it as an artifact) and diffed against
+# the newest committed BENCH_*.json — any shared benchmark regressing >25%
+# in ns/op fails the target.
 bench-smoke:
-	$(GO) run ./cmd/cmbench -experiment perf -pr 8 -perfout BENCH_8.json -compare latest
+	$(GO) run ./cmd/cmbench -experiment perf -pr 9 -perfout BENCH_9.json -compare latest
 
 # Tiny two-axis sweep campaign through the sweep engine: an end-to-end smoke
 # of expansion, the parallel runner, aggregation and the CSV emitter. CI
@@ -67,6 +68,17 @@ probe-smoke:
 		-probe "cm[s0].cwnd" -trace-depth 512 -snapshot-every 1s \
 		-check-invariants -probe-csv PROBE_SMOKE.csv \
 		-timeline-out SHARD_TIMELINE.json > /dev/null
+
+# Routing-convergence smoke: the fat-tree route-flap scenario under the
+# distance-vector control plane, swept over the routing-message drop rate
+# (see docs/ROUTING.md). -check-invariants arms the faults checker, so any
+# post-convergence blackhole drop, forwarding loop or unquiesced agent in
+# any replicate fails the target. CI uploads ROUTE_SMOKE.csv; the aggregate
+# drop probes in it show the blackhole window widening with the drop rate.
+route-smoke:
+	$(GO) test -run 'TestRouteFlapConvergence|TestRouteProtoFuzz' ./internal/scenario/
+	$(GO) run ./cmd/cmsim -campaign examples/campaigns/route-smoke.json \
+		-parallel 8 -check-invariants -csv > ROUTE_SMOKE.csv
 
 # Hierarchical-routing smoke: sweep the fat-tree builder's k parameter
 # (param.* axes rebuild the topology per point), exercising suffix-domain

@@ -56,6 +56,7 @@ func runPerf(path string, pr int, compare string) error {
 		{"scenario/grid64_serial", benchGridSerial},
 		{"scenario/grid64_shards4", benchGridShards4},
 		{"scenario/fattree_k4_run", benchFatTreeRun},
+		{"scenario/fattree_k4_protocol_run", benchFatTreeProtocolRun},
 		{"scenario/fattree_k8_build", benchFatTreeBuildK8},
 		{"scenario/fattree_k16_build", benchFatTreeBuildK16},
 		{"scenario/isp_100k_build", benchISP100kBuild},
@@ -207,6 +208,26 @@ func benchFatTreeRun(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.Run(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFatTreeProtocolRun is benchFatTreeRun with the distance-vector
+// control plane driving the tables instead of the oracle: the same fabric
+// and workloads plus ~20 protocol agents exchanging periodic refreshes. The
+// gap to fattree_k4_run is the protocol's whole-run overhead; the oracle
+// benchmarks are the ones the 25% gate protects (protocol off costs zero).
+func benchFatTreeProtocolRun(b *testing.B) {
+	spec, err := scenario.FatTree(scenario.FatTreeParams{K: 4, Duration: time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.RouteSync = scenario.RouteSyncProtocol
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -598,6 +598,24 @@ func printResult(o scenario.RunOutcome) {
 	}
 	r := o.Result
 	fmt.Printf("scenario %s: %d flow(s), virtual time %v\n", r.Scenario, len(r.Flows), r.EndTime.Round(time.Millisecond))
+	if rr := r.Routing; rr != nil {
+		converged := "converged"
+		if !rr.Converged {
+			converged = "NOT converged by end of run"
+		}
+		fmt.Printf("  routing [%s protocol]: %d agent(s), %d msgs (%d triggered, %d refreshes), %d table change(s), %s (deadline %v), post-convergence drops=%d\n",
+			rr.Mode, rr.Agents, rr.MessagesSent, rr.TriggeredUpdates, rr.Refreshes,
+			rr.TableChanges, converged, rr.ConvergenceDeadline.Round(time.Millisecond),
+			rr.PostConvergenceRouteDrops)
+		if rr.FaultDropped+rr.FaultDelayed+rr.FaultDuplicated > 0 {
+			fmt.Printf("    control-faults: dropped=%d delayed=%d duplicated=%d holddown-suppressed=%d\n",
+				rr.FaultDropped, rr.FaultDelayed, rr.FaultDuplicated, rr.HolddownSuppressed)
+		}
+		if rr.AuditedPairs > 0 {
+			fmt.Printf("    audit: %d pair(s), loops=%d unreached=%d partitioned=%d pending-at-end=%d\n",
+				rr.AuditedPairs, rr.LoopPairs, rr.UnreachedPairs, rr.PartitionedPairs, rr.PendingAtEnd)
+		}
+	}
 	for _, ev := range r.Events {
 		fired := "fired"
 		if !ev.Fired {

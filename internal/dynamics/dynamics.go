@@ -45,6 +45,12 @@ const (
 	// SetGilbert installs (or with a nil Gilbert field, removes) the
 	// two-state bursty loss model.
 	SetGilbert = "set-gilbert"
+	// SetRouteFaults configures control-plane fault injection on the target
+	// link: routing-protocol messages sent over it are dropped with
+	// probability DropRate, delayed by Delay with probability DelayRate, and
+	// duplicated with probability DuplicateRate. It applies to the routing
+	// control plane only (RouteSync: "protocol"); data traffic is untouched.
+	SetRouteFaults = "set-route-faults"
 )
 
 // Host-level event kinds. These name a host (Event.Host) instead of a link
@@ -83,6 +89,12 @@ const (
 	// PolicyMigrate keeps the macroflow state across the move: the learned
 	// window and RTT survive (the optimistic same-subnet handoff).
 	PolicyMigrate = "migrate"
+	// PolicyRenumber discards macroflow state like PolicyDiscard and
+	// additionally gives the host a new name (Event.NewName) when it
+	// re-attaches: the host changed address, so routes to the old name age
+	// out through the routing protocol rather than by oracle rewrite.
+	// Requires RouteSync: "protocol".
+	PolicyRenumber = "renumber"
 )
 
 // Directions select which half of a duplex link an event applies to.
@@ -118,14 +130,21 @@ type Event struct {
 
 	// DropRate and DelayRate are the SetNotifyFaults probabilities (in
 	// [0, 1]) of dropping or delaying one libcm callback delivery; Delay is
-	// the added latency of a delayed delivery.
+	// the added latency of a delayed delivery. SetRouteFaults reuses all
+	// three for routing messages on the target link, plus DuplicateRate.
 	DropRate  float64 `json:"drop_rate,omitempty"`
 	DelayRate float64 `json:"delay_rate,omitempty"`
+	// DuplicateRate is the SetRouteFaults probability of delivering one
+	// routing message twice.
+	DuplicateRate float64 `json:"duplicate_rate,omitempty"`
 
-	// Policy is PolicyDiscard (default) or PolicyMigrate for a HostMove;
-	// Outage is how long the moved host stays detached (default 200 ms).
-	Policy string        `json:"policy,omitempty"`
-	Outage time.Duration `json:"outage,omitempty"`
+	// Policy is PolicyDiscard (default), PolicyMigrate or PolicyRenumber for
+	// a HostMove; Outage is how long the moved host stays detached (default
+	// 200 ms). NewName is the renumbered host's post-move name
+	// (PolicyRenumber only).
+	Policy  string        `json:"policy,omitempty"`
+	Outage  time.Duration `json:"outage,omitempty"`
+	NewName string        `json:"new_name,omitempty"`
 }
 
 // HostEvent reports whether the event targets a host rather than a link.
@@ -165,6 +184,16 @@ func (e Event) Validate(nlinks int) error {
 			}
 			switch e.Policy {
 			case "", PolicyDiscard, PolicyMigrate:
+				if e.NewName != "" {
+					return fmt.Errorf("dynamics: %s event: new_name requires the %s policy", e.Kind, PolicyRenumber)
+				}
+			case PolicyRenumber:
+				if e.NewName == "" {
+					return fmt.Errorf("dynamics: %s event with the %s policy needs new_name", e.Kind, PolicyRenumber)
+				}
+				if e.NewName == e.Host {
+					return fmt.Errorf("dynamics: %s event: new_name %q equals the old name", e.Kind, e.NewName)
+				}
 			default:
 				return fmt.Errorf("dynamics: %s event policy %q unknown", e.Kind, e.Policy)
 			}
@@ -201,6 +230,19 @@ func (e Event) Validate(nlinks int) error {
 			if err := e.Gilbert.Validate(); err != nil {
 				return fmt.Errorf("dynamics: %s event: %w", e.Kind, err)
 			}
+		}
+	case SetRouteFaults:
+		if e.DropRate < 0 || e.DropRate > 1 {
+			return fmt.Errorf("dynamics: %s event drop rate %v out of [0,1]", e.Kind, e.DropRate)
+		}
+		if e.DelayRate < 0 || e.DelayRate > 1 {
+			return fmt.Errorf("dynamics: %s event delay rate %v out of [0,1]", e.Kind, e.DelayRate)
+		}
+		if e.DuplicateRate < 0 || e.DuplicateRate > 1 {
+			return fmt.Errorf("dynamics: %s event duplicate rate %v out of [0,1]", e.Kind, e.DuplicateRate)
+		}
+		if e.Delay < 0 {
+			return fmt.Errorf("dynamics: %s event needs delay >= 0", e.Kind)
 		}
 	default:
 		return fmt.Errorf("dynamics: event kind %q unknown", e.Kind)
@@ -250,13 +292,20 @@ type HostOutcome struct {
 // no hook records host events as fired no-ops.
 type HostHook func(ev Event) HostOutcome
 
+// RouteFaultHook applies a SetRouteFaults event. The scenario layer supplies
+// one that reaches the routing agents on the link's endpoints; a timeline
+// with no hook records the event as a fired no-op (oracle-mode runs have no
+// control plane to perturb).
+type RouteFaultHook func(ev Event)
+
 // Timeline owns a scenario's scheduled events and their execution records.
 type Timeline struct {
-	sched    *simtime.Scheduler
-	resolve  Resolver
-	onChange TopologyHook
-	onHost   HostHook
-	recs     []Record
+	sched        *simtime.Scheduler
+	resolve      Resolver
+	onChange     TopologyHook
+	onHost       HostHook
+	onRouteFault RouteFaultHook
+	recs         []Record
 }
 
 // NewTimeline builds a timeline over the given events. resolve is required;
@@ -279,6 +328,10 @@ func NewTimeline(sched *simtime.Scheduler, events []Event, resolve Resolver, onC
 // SetHostHook installs the host-level event handler. It must be called
 // before Install (host events applied at installation go through the hook).
 func (t *Timeline) SetHostHook(h HostHook) { t.onHost = h }
+
+// SetRouteFaultHook installs the SetRouteFaults handler. Like SetHostHook it
+// must be called before Install.
+func (t *Timeline) SetRouteFaultHook(h RouteFaultHook) { t.onRouteFault = h }
 
 // SetHorizon flags every event scheduled after the run's end (At > d) as
 // PastEnd in its execution record: such events sit silently unfired, which
@@ -333,6 +386,14 @@ func (t *Timeline) fire(i int) {
 			out := t.onHost(rec.Event)
 			rec.RoutesChanged = out.RoutesChanged
 			rec.FlowsWiped = out.FlowsWiped
+		}
+		return
+	}
+	if rec.Kind == SetRouteFaults {
+		// Route faults live in the control-plane agents, not the link; the
+		// owner's hook maps (link, direction) onto the transmitting agents.
+		if t.onRouteFault != nil {
+			t.onRouteFault(rec.Event)
 		}
 		return
 	}

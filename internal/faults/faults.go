@@ -57,6 +57,20 @@ const (
 	// RuleUnfiredEvent: a dynamics event scheduled inside the run never
 	// fired, or one flagged past-end fired anyway.
 	RuleUnfiredEvent = "unfired-event"
+	// RuleRouteLoop: the end-of-run forwarding audit of a protocol-mode run
+	// found a host pair whose next-hop chain cycles — a forwarding loop that
+	// outlived convergence.
+	RuleRouteLoop = "route-loop"
+	// RuleRouteQuiesce: an agent still held an unflushed triggered update at
+	// the end of a run whose convergence deadline had passed.
+	RuleRouteQuiesce = "route-quiesce"
+	// RuleRouteBlackhole: routing-failure drops (no-route, route-miss,
+	// forward-miss, TTL) occurred after the convergence deadline even though
+	// the audit found every pair reachable — the blackhole window failed to
+	// close. Only enforced when the audit ran and found no unreached pairs:
+	// with a legitimately partitioned end state, post-deadline route misses
+	// are correct behaviour, not a violation.
+	RuleRouteBlackhole = "route-blackhole"
 )
 
 // Check validates one run's end state and returns every violated invariant
@@ -109,6 +123,21 @@ func Check(res *scenario.Result) []Violation {
 		case !ev.PastEnd && !ev.Fired && ev.At <= res.EndTime:
 			add(RuleUnfiredEvent, "event[%d] %s scheduled at %v never fired (run ended %v)",
 				i, ev.Kind, ev.At, res.EndTime)
+		}
+	}
+
+	if rr := res.Routing; rr != nil {
+		if rr.LoopPairs > 0 {
+			add(RuleRouteLoop, "routing: %d of %d audited pairs cycle through the installed tables",
+				rr.LoopPairs, rr.AuditedPairs)
+		}
+		if rr.Converged && rr.PendingAtEnd > 0 {
+			add(RuleRouteQuiesce, "routing: %d agent(s) with pending triggered updates after the convergence deadline (%v)",
+				rr.PendingAtEnd, rr.ConvergenceDeadline)
+		}
+		if rr.Converged && rr.AuditedPairs > 0 && rr.UnreachedPairs == 0 && rr.PostConvergenceRouteDrops > 0 {
+			add(RuleRouteBlackhole, "routing: %d route-failure drop(s) after the convergence deadline (%v)",
+				rr.PostConvergenceRouteDrops, rr.ConvergenceDeadline)
 		}
 	}
 	return out

@@ -126,6 +126,10 @@ type Link struct {
 	sched *simtime.Scheduler
 	dst   Receiver
 	queue *Queue
+	// key orders this link's delivery events against same-instant deliveries
+	// from other links (see SortKey). Derived from the direction name at
+	// construction so serial and sharded builds agree on it.
+	key uint32
 	// rng is the link's private random source for loss/reorder/duplicate
 	// draws, created lazily by random(): a rand.Rand source is ~5 KB, and in
 	// an internet-scale topology almost every link is lossless and never
@@ -196,6 +200,7 @@ func NewLink(sched *simtime.Scheduler, cfg LinkConfig, dst Receiver) *Link {
 		sched: sched,
 		dst:   dst,
 		queue: q,
+		key:   nameKey(cfg.Name),
 	}
 	if cfg.Gilbert != nil {
 		g := cfg.Gilbert.withDefaults()
@@ -211,6 +216,34 @@ func NewLink(sched *simtime.Scheduler, cfg LinkConfig, dst Receiver) *Link {
 	l.handUpArg = func(x any) { l.handUp(x.(*Packet)) }
 	return l
 }
+
+// nameKey hashes a link-direction name (FNV-32a) into a scheduler sort key.
+// The key orders same-instant delivery events from different links
+// identically in serial and sharded executions, where no shared insertion
+// order exists — see simtime.AtArgKeyed. Zero is reserved to mean "unkeyed",
+// so a hash of zero is bumped; distinct names colliding on one key merely
+// falls back to the insertion-order tie-break for that pair.
+func nameKey(name string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= prime32
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// SortKey returns the link's delivery sort key: the tie-break the scheduler
+// uses to order this link's hand-up events against other links' deliveries
+// scheduled at the same instant. Sharded execution passes it to InjectAt so
+// cross-shard deliveries take the same position the serial run gives them.
+func (l *Link) SortKey() uint32 { return l.key }
 
 // random returns the link's private random source, creating it on first use
 // from the construction-time seed.
@@ -468,14 +501,17 @@ func (l *Link) deliver(pkt *Packet) {
 		// value — capturing dup itself would heap-allocate its cell on every
 		// deliver call and break the zero-alloc gate.)
 		d := dup
-		l.sched.After(delay, func() {
+		l.sched.AfterArgKeyed(delay, l.key, func(any) {
 			l.handUp(pkt)
 			l.stats.Duplicated++
 			l.handUp(d)
-		})
+		}, nil)
 		return
 	}
-	l.sched.AfterArg(delay, l.handUpArg, pkt)
+	// Hand-ups are keyed by the link direction so same-instant deliveries
+	// from different links order by link identity — the only tie-break that
+	// serial and sharded executions can both compute (see SortKey).
+	l.sched.AfterArgKeyed(delay, l.key, l.handUpArg, pkt)
 }
 
 // DeliverRemote is the receiving-side half of a cross-scheduler delivery: the

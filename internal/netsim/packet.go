@@ -22,6 +22,11 @@ type Protocol uint8
 const (
 	ProtoTCP Protocol = 6
 	ProtoUDP Protocol = 17
+	// ProtoRoute carries routing-protocol messages (internal/routeproto).
+	// Routing traffic rides the same links and queues as data traffic, so it
+	// shares fate with it; the number is OSPF's IP protocol number, reused
+	// here for any control-plane exchange.
+	ProtoRoute Protocol = 89
 )
 
 // String returns the conventional protocol name.
@@ -31,6 +36,8 @@ func (p Protocol) String() string {
 		return "tcp"
 	case ProtoUDP:
 		return "udp"
+	case ProtoRoute:
+		return "route"
 	default:
 		return fmt.Sprintf("proto(%d)", uint8(p))
 	}

@@ -27,6 +27,20 @@ func (p DropPolicy) String() string {
 	}
 }
 
+// Control-plane headroom: a queue at its configured limit still admits up to
+// RouteReservePackets routing-protocol (ProtoRoute) packets — and, on
+// byte-limited queues, RouteReserveBytes extra bytes — beyond it. Without the
+// reserve, a data flow saturating a drop-tail buffer starves the control
+// plane outright: every periodic refresh tail-drops, the downstream peer ages
+// out its entire table, and the "converged" network blackholes itself. Real
+// routers solve this the same way, with dedicated buffer for internetwork-
+// control traffic. Nothing but the routing protocol sends ProtoRoute, so the
+// reserve is invisible to every data-only scenario.
+const (
+	RouteReservePackets = 8
+	RouteReserveBytes   = 16 << 10
+)
+
 // QueueStats are cumulative counters maintained by a Queue.
 type QueueStats struct {
 	EnqueuedPackets int
@@ -112,10 +126,20 @@ func (q *Queue) Stats() QueueStats { return q.stats }
 func (q *Queue) Policy() DropPolicy { return q.policy }
 
 func (q *Queue) wouldOverflow(p *Packet) bool {
-	if q.limitPackets > 0 && q.count+1 > q.limitPackets {
+	lp, lb := q.limitPackets, q.limitBytes
+	if p.Proto == ProtoRoute {
+		// Routing packets may dip into the control-plane reserve.
+		if lp > 0 {
+			lp += RouteReservePackets
+		}
+		if lb > 0 {
+			lb += RouteReserveBytes
+		}
+	}
+	if lp > 0 && q.count+1 > lp {
 		return true
 	}
-	if q.limitBytes > 0 && q.bytes+p.Size > q.limitBytes {
+	if lb > 0 && q.bytes+p.Size > lb {
 		return true
 	}
 	return false
@@ -136,13 +160,14 @@ func (q *Queue) popHead() *Packet {
 }
 
 // pushTail appends the packet, growing the ring if it is full. Growth is
-// amortised doubling, capped at the packet limit for packet-limited queues
-// (wouldOverflow guarantees count never exceeds it).
+// amortised doubling, capped at the packet limit plus the control-plane
+// reserve for packet-limited queues (wouldOverflow guarantees count never
+// exceeds that).
 func (q *Queue) pushTail(p *Packet) {
 	if q.count == len(q.buf) {
 		newCap := 2 * len(q.buf)
-		if q.limitPackets > 0 && newCap > q.limitPackets {
-			newCap = q.limitPackets
+		if q.limitPackets > 0 && newCap > q.limitPackets+RouteReservePackets {
+			newCap = q.limitPackets + RouteReservePackets
 		}
 		grown := make([]*Packet, newCap)
 		n := copy(grown, q.buf[q.head:])

@@ -188,6 +188,58 @@ func (h *Host) InstallRoutes(routes map[string]*netsim.Link) int {
 // InstallRoutes / InstallHierRoutes.
 func (h *Host) DeleteRoute(dstHost string) { delete(h.routes, dstHost) }
 
+// SetRoute points the route to dstHost at link, reporting whether the table
+// changed. Unlike AddRoute, a nil link is legal and installs a reject entry:
+// the exact match wins the RouteTo lookup and returns nil, so packets for
+// dstHost are dropped instead of falling through to a domain or default
+// route. The routing control plane (internal/routeproto) uses SetRoute for
+// its incremental per-message table updates.
+func (h *Host) SetRoute(dstHost string, link *netsim.Link) bool {
+	if old, ok := h.routes[dstHost]; ok && old == link {
+		return false
+	}
+	h.routes[dstHost] = link
+	return true
+}
+
+// RemoveRoute deletes the explicit route (or reject entry) for dstHost,
+// reporting whether an entry was removed. Lookups for dstHost fall through to
+// the domain table and default route again.
+func (h *Host) RemoveRoute(dstHost string) bool {
+	if _, ok := h.routes[dstHost]; !ok {
+		return false
+	}
+	delete(h.routes, dstHost)
+	return true
+}
+
+// SetDomainRoute points the name-suffix route for domain at link, reporting
+// whether the table changed. A nil link installs a reject entry: packets
+// matching the suffix (and nothing more specific) are dropped rather than
+// following a shorter suffix or the default route — hierarchical routers use
+// it to blackhole their own subtree's dead destinations instead of bouncing
+// them back up.
+func (h *Host) SetDomainRoute(domain string, link *netsim.Link) bool {
+	if old, ok := h.domains[domain]; ok && old == link {
+		return false
+	}
+	if h.domains == nil {
+		h.domains = make(map[string]*netsim.Link)
+	}
+	h.domains[domain] = link
+	return true
+}
+
+// RemoveDomainRoute deletes the name-suffix route (or reject entry) for
+// domain, reporting whether an entry was removed.
+func (h *Host) RemoveDomainRoute(domain string) bool {
+	if _, ok := h.domains[domain]; !ok {
+		return false
+	}
+	delete(h.domains, domain)
+	return true
+}
+
 // InstallHierRoutes atomically replaces the host's entire routing state —
 // exact table, domain (name-suffix) table and default route — with the given
 // maps, returning the number of entries that changed (a default-route change
@@ -437,6 +489,29 @@ func (n *Network) Router(name string) *Host {
 
 // Hosts returns the number of hosts created so far.
 func (n *Network) Hosts() int { return len(n.hosts) }
+
+// Rename gives an existing host a new name (a new "IP address"): the host is
+// re-keyed in the network and packets must now address it by the new name —
+// packets still carrying the old address no longer terminate at it. Routing
+// state at other hosts is deliberately untouched; with a routing protocol
+// active, stale routes to the old name age out on their own. It returns the
+// renamed host, or panics if old does not exist or newName is taken.
+func (n *Network) Rename(old, newName string) *Host {
+	h, ok := n.hosts[old]
+	if !ok {
+		panic(fmt.Sprintf("node: Rename(%q): no such host", old))
+	}
+	if newName == "" || newName == old {
+		panic(fmt.Sprintf("node: Rename(%q, %q): bad new name", old, newName))
+	}
+	if _, ok := n.hosts[newName]; ok {
+		panic(fmt.Sprintf("node: Rename(%q, %q): name taken", old, newName))
+	}
+	delete(n.hosts, old)
+	n.hosts[newName] = h
+	h.name = newName
+	return h
+}
 
 // ConnectDuplex joins hosts a and b with a duplex link built from cfg and
 // installs routes in both directions. It returns the duplex so experiments

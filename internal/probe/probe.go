@@ -2,6 +2,7 @@ package probe
 
 import (
 	"fmt"
+	"path"
 	"sort"
 	"strconv"
 	"strings"
@@ -43,16 +44,26 @@ const (
 	TargetHost  = "host"
 	TargetCM    = "cm"
 	TargetShard = "shard"
+	// TargetLinks and TargetHosts are the aggregate families: a glob over
+	// directional link names (node names), sampled as the sum of the field
+	// across every match.
+	TargetLinks = "links"
+	TargetHosts = "hosts"
 )
 
 // Target is a parsed probe path.
 type Target struct {
-	// Kind is TargetLink, TargetHost, TargetCM or TargetShard.
+	// Kind is TargetLink, TargetHost, TargetCM, TargetShard, TargetLinks or
+	// TargetHosts.
 	Kind string
 	// Index is the Spec.Links index of a TargetLink (forward direction).
 	Index int
 	// Host is the host name of a TargetHost or TargetCM.
 	Host string
+	// Pattern is the path.Match glob of an aggregate target (TargetLinks
+	// matches directional link names like "a<->b-fwd", TargetHosts node
+	// names).
+	Pattern string
 	// Field is the sampled quantity.
 	Field string
 }
@@ -69,12 +80,27 @@ var (
 		"utilization":     true, // busy fraction of elapsed virtual time
 	}
 	hostFields = map[string]bool{
-		"sent_packets":      true,
-		"sent_bytes":        true,
-		"received_packets":  true,
-		"received_bytes":    true,
-		"forwarded_packets": true,
+		"sent_packets":       true,
+		"sent_bytes":         true,
+		"received_packets":   true,
+		"received_bytes":     true,
+		"forwarded_packets":  true,
+		"no_route_drops":     true, // sender-side: no route for the destination
+		"route_miss_drops":   true, // transit packet died at a non-forwarding leaf
+		"forward_miss_drops": true, // transit packet died at a router with no entry
+		"ttl_expired_drops":  true, // hop budget exhausted: the routing-loop symptom
 	}
+	// Aggregate (links.* / hosts.*) fields: the summable subset — gauges that
+	// add meaningfully (queue_depth) and monotonic counters, but not ratios
+	// like utilization.
+	linksAggFields = map[string]bool{
+		"queue_depth":     true,
+		"sent_packets":    true,
+		"sent_bytes":      true,
+		"delivered_bytes": true,
+		"drops":           true,
+	}
+	hostsAggFields = hostFields
 	cmFields = map[string]bool{
 		"rate":        true, // sum of macroflow rates, bytes/s
 		"cwnd":        true, // sum of macroflow congestion windows, bytes
@@ -97,9 +123,16 @@ var (
 //	host[<name>].<field>    a node by name
 //	cm[<host>].<field>      the Congestion Manager on a host
 //	shard.<field>           the sharded-execution plan
+//	links.<glob>.<field>    sum of <field> over every directional link whose
+//	                        name matches the path.Match glob ("*p0*-fwd")
+//	hosts.<glob>.<field>    sum of <field> over every node name matching
+//	                        the glob ("h*.e0.p0")
 //
 // Host names may themselves contain dots and brackets-free suffixes
 // ("h0.e1.p2"), so the field is whatever follows the bracket's closing "]".
+// In the aggregate families the field is the segment after the last dot;
+// everything between the kind and the field is the glob (globs and names may
+// contain dots, fields never do).
 func ParseTarget(s string) (Target, error) {
 	if open := strings.IndexByte(s, '['); open >= 0 {
 		closing := strings.IndexByte(s, ']')
@@ -137,12 +170,30 @@ func ParseTarget(s string) (Target, error) {
 			return Target{}, fmt.Errorf("probe target %q: unknown kind %q (want link, host, cm or shard)", s, t.Kind)
 		}
 	}
-	kind, field, ok := strings.Cut(s, ".")
-	if !ok || kind != TargetShard || field == "" {
-		return Target{}, fmt.Errorf("probe target %q: want link[i].<field>, host[name].<field>, cm[host].<field> or shard.<field>", s)
+	kind, rest, ok := strings.Cut(s, ".")
+	if !ok || rest == "" {
+		return Target{}, fmt.Errorf("probe target %q: want link[i].<field>, host[name].<field>, cm[host].<field>, shard.<field>, links.<glob>.<field> or hosts.<glob>.<field>", s)
 	}
-	t := Target{Kind: TargetShard, Field: field}
-	return t, checkField(s, field, shardFields)
+	switch kind {
+	case TargetShard:
+		t := Target{Kind: TargetShard, Field: rest}
+		return t, checkField(s, rest, shardFields)
+	case TargetLinks, TargetHosts:
+		dot := strings.LastIndexByte(rest, '.')
+		if dot <= 0 || dot == len(rest)-1 {
+			return Target{}, fmt.Errorf("probe target %q: want %s.<glob>.<field>", s, kind)
+		}
+		t := Target{Kind: kind, Pattern: rest[:dot], Field: rest[dot+1:]}
+		if _, err := path.Match(t.Pattern, ""); err != nil {
+			return Target{}, fmt.Errorf("probe target %q: bad glob %q: %w", s, t.Pattern, err)
+		}
+		fields := linksAggFields
+		if kind == TargetHosts {
+			fields = hostsAggFields
+		}
+		return t, checkField(s, t.Field, fields)
+	}
+	return Target{}, fmt.Errorf("probe target %q: unknown kind %q (want link, host, cm, shard, links or hosts)", s, kind)
 }
 
 func checkField(target, field string, valid map[string]bool) error {

@@ -35,7 +35,10 @@ type Sim struct {
 
 	// routing is the interned-topology route engine, retained after Build so
 	// the dynamics timeline can recompute routes when links fail or recover.
-	routing  *routeEngine
+	routing *routeEngine
+	// proto is the distance-vector control plane layered on the engine when
+	// Spec.RouteSync == RouteSyncProtocol, nil in (default) oracle mode.
+	proto    *protoPlane
 	timeline *dynamics.Timeline
 
 	// shard is the sharded-execution coordinator, nil for a serial build
@@ -56,6 +59,14 @@ type Sim struct {
 	recorders map[string]*probe.Recorder
 	snaps     []Snapshot
 	execTL    *probe.Timeline
+
+	// obsTimes/obsFns are the barrier observation schedule (see observers.go):
+	// instants where RunToEnd pauses the whole simulation — between all events
+	// strictly before and any event at the instant — and runs the registered
+	// observers. Aggregate probes and the protocol convergence baseline use
+	// it; empty for runs without either.
+	obsTimes []time.Duration
+	obsFns   []func(time.Duration)
 }
 
 // Build validates the spec, creates the hosts, routers and links, computes
@@ -197,6 +208,9 @@ func Build(spec Spec) (*Sim, error) {
 		return nil, err
 	}
 	sim.routing = eng
+	if spec.routeProtocol() {
+		sim.proto = newProtoPlane(sim)
+	}
 	sim.recomputeRoutes()
 
 	cmHosts := append([]string(nil), spec.CMHosts...)
@@ -243,6 +257,9 @@ func Build(spec Spec) (*Sim, error) {
 				return changed
 			})
 		sim.timeline.SetHostHook(sim.applyHostEvent)
+		if sim.proto != nil {
+			sim.timeline.SetRouteFaultHook(sim.proto.applyRouteFaults)
+		}
 		sim.timeline.SetHorizon(spec.Duration)
 		sim.timeline.Install()
 	}
@@ -277,9 +294,11 @@ func expandHostMoves(events []dynamics.Event) []dynamics.Event {
 			ev.Outage = 200 * time.Millisecond
 		}
 		attaches = append(attaches, dynamics.Event{
-			At:   ev.At + ev.Outage,
-			Kind: dynamics.HostAttach,
-			Host: ev.Host,
+			At:      ev.At + ev.Outage,
+			Kind:    dynamics.HostAttach,
+			Host:    ev.Host,
+			Policy:  ev.Policy,
+			NewName: ev.NewName,
 		})
 	}
 	out = append(out, attaches...)
@@ -337,9 +356,39 @@ func (s *Sim) applyHostEvent(ev dynamics.Event) dynamics.HostOutcome {
 		}
 	case dynamics.HostAttach:
 		s.setHostLinks(ev.Host, false)
+		if ev.NewName != "" {
+			s.renameHost(ev.Host, ev.NewName)
+		}
 		out.RoutesChanged = s.recomputeRoutes()
 	}
 	return out
+}
+
+// renameHost re-keys a renumbering host (host-move with the "renumber"
+// policy) under its new name: the network's host registry, the interned node
+// order, the route engine and the control plane. Spec-level structures
+// (Links, Workloads, CM maps) keep the old name — a renumbered host's old
+// address is exactly what stale peers keep talking to until the protocol
+// ages it out, and setHostLinks matches links by the unchanged spec names.
+func (s *Sim) renameHost(old, newName string) {
+	s.net.Rename(old, newName)
+	for i, n := range s.nodeNames {
+		if n != old {
+			continue
+		}
+		s.nodeNames[i] = newName
+		if s.proto != nil {
+			s.proto.rename(int32(i), old, newName)
+		}
+		s.routing.rename(int32(i), newName)
+		break
+	}
+	if s.shard != nil {
+		s.shard.plan.shardOf[newName] = s.shard.plan.shardOf[old]
+	}
+	if s.recorders != nil {
+		s.recorders[newName] = s.recorders[old]
+	}
 }
 
 // setHostLinks takes every link adjacent to host down (or back up).
@@ -477,7 +526,14 @@ func MustBuild(spec Spec) *Sim {
 // no-route) drops. After the initial installation the route engine works
 // incrementally — it touches only the state a flipped link can affect while
 // reporting exactly the changed-entry count a full recompute would.
+//
+// In protocol mode the global oracle is replaced by local failure handling:
+// only the flipped links' endpoints react synchronously, and the rest of the
+// repair propagates through the simulated network as routing messages.
 func (s *Sim) recomputeRoutes() int {
+	if s.proto != nil {
+		return s.proto.topologyChanged()
+	}
 	return s.routing.recompute()
 }
 

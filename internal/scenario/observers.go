@@ -1,0 +1,74 @@
+// Barrier observers: whole-simulation sampling instants shared by serial and
+// sharded execution.
+//
+// A per-host probe can sample on its owner's scheduler, but an observer that
+// reads *across* the whole simulation — an aggregate probe summing links on
+// different shards, the protocol convergence baseline summing every host's
+// drop counters — needs an instant where no shard is mid-window. The
+// observation schedule provides exactly that: RunToEnd pauses at each
+// registered time t with every event strictly before t executed and no event
+// at t executed yet. A serial run realises the pause with RunUntilBefore(t);
+// a sharded run folds t into the synchronization-barrier schedule and fires
+// after the drain, before same-instant dynamics events. Both paths observe
+// identical state, so results remain byte-identical across execution modes.
+//
+// Observers are observation-only by contract: they must not mutate
+// simulation state or consume randomness. Runs driven manually (Build +
+// Start + a caller-owned scheduler loop) never fire observers.
+package scenario
+
+import (
+	"sort"
+	"time"
+)
+
+// addObserver registers fire to run at each of the given instants (values
+// outside (0, Duration] are ignored). Call before RunToEnd; Start finalises
+// the schedule.
+func (s *Sim) addObserver(times []time.Duration, fire func(at time.Duration)) {
+	var mine []time.Duration
+	for _, t := range times {
+		if t > 0 && t <= s.Spec.Duration {
+			mine = append(mine, t)
+		}
+	}
+	if len(mine) == 0 {
+		return
+	}
+	sort.Slice(mine, func(i, j int) bool { return mine[i] < mine[j] })
+	s.obsTimes = append(s.obsTimes, mine...)
+	idx := 0
+	s.obsFns = append(s.obsFns, func(at time.Duration) {
+		for idx < len(mine) && mine[idx] < at {
+			idx++
+		}
+		if idx < len(mine) && mine[idx] == at {
+			fire(at)
+			idx++
+		}
+	})
+}
+
+// finishObservers sorts and dedupes the merged schedule. Called once from
+// Start after every registration.
+func (s *Sim) finishObservers() {
+	if len(s.obsTimes) == 0 {
+		return
+	}
+	sort.Slice(s.obsTimes, func(i, j int) bool { return s.obsTimes[i] < s.obsTimes[j] })
+	uniq := s.obsTimes[:1]
+	for _, t := range s.obsTimes[1:] {
+		if t != uniq[len(uniq)-1] {
+			uniq = append(uniq, t)
+		}
+	}
+	s.obsTimes = uniq
+}
+
+// fireObservers runs every registered observer for instant at; each observer
+// ignores instants outside its own schedule.
+func (s *Sim) fireObservers(at time.Duration) {
+	for _, fn := range s.obsFns {
+		fn(at)
+	}
+}

@@ -21,9 +21,11 @@ package scenario
 import (
 	"fmt"
 	"io"
+	"path"
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/node"
 	"repro/internal/probe"
 	"repro/internal/simtime"
 )
@@ -63,6 +65,12 @@ func (s *Sim) installProbes() error {
 		if err != nil {
 			return fmt.Errorf("scenario %q: probe %d: %w", s.Spec.Name, i, err)
 		}
+		if t.Kind == probe.TargetLinks || t.Kind == probe.TargetHosts {
+			if err := s.installAggregateProbe(ps, t); err != nil {
+				return fmt.Errorf("scenario %q: probe %d: %w", s.Spec.Name, i, err)
+			}
+			continue
+		}
 		sample, sched, err := s.compileProbe(t)
 		if err != nil {
 			return fmt.Errorf("scenario %q: probe %d: %w", s.Spec.Name, i, err)
@@ -88,6 +96,126 @@ func (s *Sim) installProbes() error {
 			sp.sched.AtArg(sp.every, sp.fire, nil)
 		}
 		s.samplers = append(s.samplers, sp)
+	}
+	return nil
+}
+
+// installAggregateProbe compiles a links.<glob>.<field> / hosts.<glob>.<field>
+// probe: the glob resolves against directional link names (node names for
+// hosts.*) at install time, and the sampler sums the field across every
+// match. An aggregate reads state owned by many shards, so it samples on the
+// barrier-observation schedule instead of a single scheduler — same instants
+// and values in serial and sharded runs, but unlike per-target probes the
+// sample excludes packet events at exactly the sampling instant.
+func (s *Sim) installAggregateProbe(ps probe.Spec, t probe.Target) error {
+	sample, err := s.compileAggregate(t)
+	if err != nil {
+		return err
+	}
+	sp := &probeSampler{
+		series: probe.NewSeries(ps.SeriesName()),
+		sample: sample,
+		every:  ps.Interval,
+		until:  s.Spec.Duration,
+	}
+	if sp.every <= 0 {
+		sp.every = probe.DefaultInterval
+	}
+	var times []time.Duration
+	for at := sp.every; at <= sp.until; at += sp.every {
+		times = append(times, at)
+	}
+	s.addObserver(times, func(at time.Duration) { sp.series.Add(at, sp.sample()) })
+	s.samplers = append(s.samplers, sp)
+	return nil
+}
+
+// compileAggregate resolves an aggregate target's glob and returns the
+// summing closure. An empty match set is an error: a silently-empty series
+// would read as "nothing happened".
+func (s *Sim) compileAggregate(t probe.Target) (func() float64, error) {
+	if t.Kind == probe.TargetLinks {
+		var links []*netsim.Link
+		for _, d := range s.duplexes {
+			for _, l := range []*netsim.Link{d.Forward, d.Reverse} {
+				ok, err := path.Match(t.Pattern, l.Config().Name)
+				if err != nil {
+					return nil, fmt.Errorf("links pattern %q: %w", t.Pattern, err)
+				}
+				if ok {
+					links = append(links, l)
+				}
+			}
+		}
+		if len(links) == 0 {
+			return nil, fmt.Errorf("links pattern %q matches no link direction", t.Pattern)
+		}
+		var per func(l *netsim.Link) float64
+		switch t.Field {
+		case "queue_depth":
+			per = func(l *netsim.Link) float64 { return float64(l.QueueLen()) }
+		case "sent_packets":
+			per = func(l *netsim.Link) float64 { p, _ := l.SentCounters(); return float64(p) }
+		case "sent_bytes":
+			per = func(l *netsim.Link) float64 { _, b := l.SentCounters(); return float64(b) }
+		case "delivered_bytes":
+			per = func(l *netsim.Link) float64 { return float64(l.DeliveredBytes()) }
+		case "drops":
+			per = func(l *netsim.Link) float64 { return float64(l.DropCount()) }
+		}
+		return func() float64 {
+			sum := 0.0
+			for _, l := range links {
+				sum += per(l)
+			}
+			return sum
+		}, nil
+	}
+	var hosts []*node.Host
+	for _, name := range s.nodeNames {
+		ok, err := path.Match(t.Pattern, name)
+		if err != nil {
+			return nil, fmt.Errorf("hosts pattern %q: %w", t.Pattern, err)
+		}
+		if ok {
+			hosts = append(hosts, s.net.Host(name))
+		}
+	}
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("hosts pattern %q matches no node", t.Pattern)
+	}
+	per := hostField(t.Field)
+	return func() float64 {
+		sum := 0.0
+		for _, h := range hosts {
+			sum += per(h)
+		}
+		return sum
+	}, nil
+}
+
+// hostField returns the reader for one host-level probe field (shared by the
+// per-host and aggregate probe families).
+func hostField(field string) func(h *node.Host) float64 {
+	switch field {
+	case "sent_packets":
+		return func(h *node.Host) float64 { return float64(h.Stats().SentPackets) }
+	case "sent_bytes":
+		return func(h *node.Host) float64 { return float64(h.Stats().SentBytes) }
+	case "received_packets":
+		return func(h *node.Host) float64 { return float64(h.Stats().ReceivedPackets) }
+	case "received_bytes":
+		return func(h *node.Host) float64 { return float64(h.Stats().ReceivedBytes) }
+	case "forwarded_packets":
+		return func(h *node.Host) float64 { return float64(h.Stats().ForwardedPackets) }
+	case "no_route_drops":
+		return func(h *node.Host) float64 { return float64(h.Stats().NoRouteDrops) }
+	case "route_miss_drops":
+		return func(h *node.Host) float64 { return float64(h.Stats().RouteMissDrops) }
+	case "forward_miss_drops":
+		return func(h *node.Host) float64 { return float64(h.Stats().ForwardMissDrops) }
+	case "ttl_expired_drops":
+		return func(h *node.Host) float64 { return float64(h.Stats().TTLExpiredDrops) }
 	}
 	return nil
 }
@@ -130,20 +258,8 @@ func (s *Sim) compileProbe(t probe.Target) (func() float64, *simtime.Scheduler, 
 		if h == nil {
 			return nil, nil, fmt.Errorf("host %q not in topology", t.Host)
 		}
-		var fn func() float64
-		switch t.Field {
-		case "sent_packets":
-			fn = func() float64 { return float64(h.Stats().SentPackets) }
-		case "sent_bytes":
-			fn = func() float64 { return float64(h.Stats().SentBytes) }
-		case "received_packets":
-			fn = func() float64 { return float64(h.Stats().ReceivedPackets) }
-		case "received_bytes":
-			fn = func() float64 { return float64(h.Stats().ReceivedBytes) }
-		case "forwarded_packets":
-			fn = func() float64 { return float64(h.Stats().ForwardedPackets) }
-		}
-		return fn, s.clockFor(t.Host), nil
+		per := hostField(t.Field)
+		return func() float64 { return per(h) }, s.clockFor(t.Host), nil
 	case probe.TargetCM:
 		c := s.cms[t.Host]
 		if c == nil {
@@ -329,18 +445,30 @@ func (s *Sim) RunToEnd() {
 	if s.shard != nil {
 		s.shard.snapEvery = s.Spec.SnapshotEvery
 		s.shard.snap = s.takeSnapshot
+		s.shard.obs = s.obsTimes
+		s.shard.obsFire = s.fireObservers
 		s.shard.run(s.Spec.Duration, s.timeline, s.Spec.Events)
 		return
+	}
+	// The serial realisation of the barrier-observation schedule: pause just
+	// before each registered instant (events < t executed, none at t), fire
+	// the observers, resume. See observers.go.
+	run := func() {
+		for _, t := range s.obsTimes {
+			s.sched.RunUntilBefore(t)
+			s.fireObservers(t)
+		}
+		s.sched.RunUntil(s.Spec.Duration)
 	}
 	if s.execTL != nil {
 		t0 := s.execTL.Since()
 		v0 := s.sched.Now()
-		s.sched.RunUntil(s.Spec.Duration)
+		run()
 		s.execTL.Add(0, probe.Span{
 			Name: "run", Start: t0, Dur: s.execTL.Since() - t0,
 			VirtStart: v0, VirtEnd: s.Spec.Duration,
 		})
 		return
 	}
-	s.sched.RunUntil(s.Spec.Duration)
+	run()
 }

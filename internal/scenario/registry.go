@@ -131,4 +131,5 @@ func init() {
 	})
 	RegisterParams("fattree", fatTreeFromParams)
 	RegisterParams("isp", ispFromParams)
+	RegisterParams("routeflap", routeFlapFromParams)
 }

@@ -213,6 +213,29 @@ func (e *routeEngine) syncMirror() {
 	}
 }
 
+// detectFlips diffs the live link states against the mirror, updating the
+// mirror and returning the adjacency indices whose up/down state changed.
+// Both the oracle's incremental update and the protocol control plane's
+// local failure detectors consume it.
+func (e *routeEngine) detectFlips() []int32 {
+	var flips []int32
+	for k, l := range e.adjLink {
+		if d := l.IsDown(); d != e.downMirror[k] {
+			e.downMirror[k] = d
+			flips = append(flips, int32(k))
+		}
+	}
+	return flips
+}
+
+// rename re-labels node v (a renumbered host). Only the interned name
+// changes; adjacency and distances are name-independent. Callers must also
+// re-key every name-indexed map they hold (the scenario layer's renameHost
+// does).
+func (e *routeEngine) rename(v int32, newName string) {
+	e.names[v] = newName
+}
+
 func (e *routeEngine) installAll() int {
 	changed := 0
 	if e.hier {
@@ -239,13 +262,7 @@ func (e *routeEngine) installAll() int {
 // can neither shorten a path nor win a discovery tie). Affected sources
 // re-run their BFS against the live links, refreshing their matrix rows.
 func (e *routeEngine) update() int {
-	var flips []int32
-	for k, l := range e.adjLink {
-		if d := l.IsDown(); d != e.downMirror[k] {
-			e.downMirror[k] = d
-			flips = append(flips, int32(k))
-		}
-	}
+	flips := e.detectFlips()
 	if len(flips) == 0 {
 		return 0
 	}

@@ -103,6 +103,10 @@ type Result struct {
 	// execution (shard.* probes excepted: they describe the execution plan
 	// itself).
 	Series []probe.Series `json:"series,omitempty"`
+	// Routing summarises the distance-vector control plane of a protocol-mode
+	// run (RouteSync: "protocol"): message statistics, the convergence
+	// verdict and the end-of-run forwarding audit. Nil in oracle mode.
+	Routing *RoutingResult `json:"routing,omitempty"`
 }
 
 // flowDriver tracks one declarative flow while the simulation runs.
@@ -154,6 +158,13 @@ func (s *Sim) Start() error {
 		return err
 	}
 	s.installSnapshots()
+	// The protocol convergence deadline depends on the fully expanded event
+	// list; arming it registers its baseline capture on the observation
+	// schedule, which is then frozen.
+	if s.proto != nil {
+		s.proto.arm()
+	}
+	s.finishObservers()
 	return nil
 }
 
@@ -407,6 +418,9 @@ func (s *Sim) collect(drivers []*flowDriver) *Result {
 	}
 	for _, sp := range s.samplers {
 		res.Series = append(res.Series, sp.series.Freeze())
+	}
+	if s.proto != nil {
+		res.Routing = s.proto.result()
 	}
 	return res
 }

@@ -16,11 +16,12 @@
 // at W', and opens the next window.
 //
 // Determinism is the design constraint. Each injected delivery carries the
-// sender-side serialisation time as its insertion stamp, and the scheduler
-// orders same-timestamp events by (stamp, seq) — which is exactly the
-// insertion order a single shared scheduler would have produced, so a
-// K-shard run executes every host's events in the serial order and the
-// Result is byte-identical to the serial run (enforced by TestShardedRuns*).
+// sender-side serialisation time as its insertion stamp and its link
+// direction's sort key, and the scheduler orders same-timestamp events by
+// (stamp, key, seq) — which is exactly the order a single shared scheduler
+// produces (it keys its local hand-ups the same way), so a K-shard run
+// executes every host's events in the serial order and the Result is
+// byte-identical to the serial run (enforced by TestShardedRuns*).
 // Handoff queues are single-producer/single-consumer slices: only the source
 // shard's worker appends (during a window), only the coordinator drains (at a
 // barrier), and the window channels provide the happens-before edges.
@@ -44,6 +45,7 @@ type shardMsg struct {
 	pkt, dup *netsim.Packet
 	arrive   time.Duration // destination-side delivery time
 	sent     time.Duration // sender-side serialisation-complete time (stamp)
+	key      uint32        // link-direction sort key (Link.SortKey)
 }
 
 // handoff is the SPSC queue for one (source shard, destination shard) pair.
@@ -121,6 +123,12 @@ type shardRun struct {
 	// schedule so every shard is quiescent exactly then (see probes.go).
 	snapEvery time.Duration
 	snap      func(at time.Duration)
+	// obs/obsFire realise the barrier-observation schedule (observers.go):
+	// each obs instant becomes a barrier, and obsFire runs after the drain —
+	// before same-instant dynamics events and snapshots, matching the serial
+	// path's RunUntilBefore placement.
+	obs     []time.Duration
+	obsFire func(at time.Duration)
 	// timeline, when set, gets one "barrier" span on the coordinator lane
 	// (index nshards) per synchronization barrier.
 	timeline *probe.Timeline
@@ -170,8 +178,9 @@ func (sr *shardRun) ownerCheck(i int) func() bool {
 // transmitter lives on shard src and whose receiver lives on shard dst.
 func (sr *shardRun) connectRemote(l *netsim.Link, src, dst int) {
 	q := sr.queues[src][dst]
+	key := l.SortKey()
 	l.SetRemoteDeliver(func(pkt, dup *netsim.Packet, arrive, sent time.Duration) {
-		q.msgs = append(q.msgs, shardMsg{link: l, pkt: pkt, dup: dup, arrive: arrive, sent: sent})
+		q.msgs = append(q.msgs, shardMsg{link: l, pkt: pkt, dup: dup, arrive: arrive, sent: sent, key: key})
 	})
 }
 
@@ -190,22 +199,19 @@ func (sr *shardRun) window(until time.Duration, inclusive bool) {
 
 // drain moves every pending cross-shard delivery into its destination
 // scheduler. Sources are drained in shard order and each queue in FIFO
-// order, which — together with the (time, stamp, seq) heap order — pins the
-// injection order deterministically.
+// order, which — together with the (time, stamp, key, seq) heap order — pins
+// the injection order deterministically.
 //
 // Residual tie rule: when an injected delivery ties a competitor on BOTH
-// arrival time and insertion stamp, the remaining seq order is assigned
-// here at the barrier, whereas the serial run would have used the execution
-// order of the two inserting events at that shared nanosecond instant —
-// across different source shards the fallback is source-shard order, and
-// against a local event inserted at exactly the stamp instant the local
-// event wins. Shards are numbered in first-mention order of their nodes,
-// which is also the build order that seeds the serial seq chain, so the
-// orders coincide for the symmetric workloads that actually produce such
-// double ties (pinned by the lockstep variant in
-// TestShardedRunsAreByteIdentical); a workload engineered to make two
-// different shards insert same-arrival events at the same nanosecond could
-// in principle diverge from serial.
+// arrival time and insertion stamp, the link-direction sort key decides
+// (Link.SortKey) — the serial run schedules its hand-ups with the same key,
+// so both executions break the double tie by link identity without either
+// observing the other's insertion order. (Fat-tree cross-pod streams really
+// produce such ties: flows dialing in lockstep collide at a core at shared
+// nanosecond instants, pinned by routeflap in TestShardedRunsAreByteIdentical.)
+// Only two same-instant deliveries on the *same* link direction still fall
+// through to seq order, and for those the queue's FIFO order is the sender's
+// insertion order, matching serial.
 func (sr *shardRun) drain() int {
 	n := 0
 	for dst, ds := range sr.states {
@@ -214,7 +220,7 @@ func (sr *shardRun) drain() int {
 			for i := range q.msgs {
 				m := ds.getMsg()
 				*m = q.msgs[i]
-				ds.sched.InjectAt(m.arrive, m.sent, ds.fire, m)
+				ds.sched.InjectAt(m.arrive, m.sent, m.key, ds.fire, m)
 			}
 			n += len(q.msgs)
 			q.msgs = q.msgs[:0]
@@ -252,6 +258,7 @@ func (sr *shardRun) run(d time.Duration, tl *dynamics.Timeline, events []dynamic
 	if sr.snapEvery > 0 && sr.snap != nil {
 		nextSnap = sr.snapEvery
 	}
+	obs := sr.obs // sorted, deduped, within (0, d] by construction
 
 	w := time.Duration(0)
 	for w < d {
@@ -264,6 +271,12 @@ func (sr *shardRun) run(d time.Duration, tl *dynamics.Timeline, events []dynamic
 		}
 		if len(dyn) > 0 && dyn[0] < end {
 			end = dyn[0]
+		}
+		for len(obs) > 0 && obs[0] <= w {
+			obs = obs[1:]
+		}
+		if len(obs) > 0 && obs[0] < end {
+			end = obs[0]
 		}
 		if nextSnap > 0 && nextSnap > w && nextSnap < end {
 			end = nextSnap
@@ -282,6 +295,10 @@ func (sr *shardRun) run(d time.Duration, tl *dynamics.Timeline, events []dynamic
 				Name: "barrier", Start: t0, Dur: sr.timeline.Since() - t0,
 				VirtStart: end, VirtEnd: end, Count: injected,
 			})
+		}
+		if sr.obsFire != nil && len(obs) > 0 && obs[0] == end {
+			sr.obsFire(end)
+			obs = obs[1:]
 		}
 		if tl != nil && len(dyn) > 0 && dyn[0] == end {
 			tl.Advance(end)

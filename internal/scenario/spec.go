@@ -20,6 +20,7 @@ import (
 	"repro/internal/dynamics"
 	"repro/internal/netsim"
 	"repro/internal/probe"
+	"repro/internal/routeproto"
 )
 
 // Congestion-control selectors for workloads, mirroring tcp.CCCM/CCNative
@@ -152,6 +153,18 @@ type Spec struct {
 	// suffix "p2"). A router absent from the map covers its own name: hosts
 	// under an edge switch "e1.p2" are named "h<i>.e1.p2".
 	Domains map[string]string `json:"domains,omitempty"`
+	// RouteSync selects how routing tables track topology changes.
+	// RouteSyncOracle (the default when empty) recomputes tables instantly
+	// and globally at each link event — the pre-existing BFS path.
+	// RouteSyncProtocol runs the distance-vector control plane
+	// (internal/routeproto) instead: endpoints detect flips locally and
+	// advertise/withdraw routes hop-by-hop as simulated packets, so failures
+	// open a bounded blackhole window that heals by convergence rather than
+	// by fiat. Works with both exact and hier routing (see docs/ROUTING.md).
+	RouteSync string `json:"route_sync,omitempty"`
+	// RouteProto overrides the control-plane timers (protocol mode only);
+	// nil uses routeproto's defaults.
+	RouteProto *routeproto.Config `json:"route_proto,omitempty"`
 	// Probes declares mid-run sampling probes. Each probe samples its target
 	// (see probe.ParseTarget for the path grammar) every Interval of virtual
 	// time via a self-rescheduling scheduler event and yields one entry of
@@ -180,6 +193,26 @@ const (
 	RoutingExact = "exact"
 	RoutingHier  = "hier"
 )
+
+// Route-synchronisation modes (Spec.RouteSync).
+const (
+	RouteSyncOracle   = "oracle"
+	RouteSyncProtocol = "protocol"
+)
+
+// routeProtocol reports whether the spec runs the distance-vector control
+// plane instead of the oracle.
+func (s *Spec) routeProtocol() bool { return s.RouteSync == RouteSyncProtocol }
+
+// routeProtoConfig resolves the spec's control-plane timer config without
+// mutating the (possibly shared) RouteProto pointer.
+func (s *Spec) routeProtoConfig() routeproto.Config {
+	var cfg routeproto.Config
+	if s.RouteProto != nil {
+		cfg = *s.RouteProto
+	}
+	return cfg.WithDefaults()
+}
 
 // fillDefaults normalises the spec in place. The Workloads slice is cloned
 // before any write: specs are replicated by value for batch runs (cmsim
@@ -420,6 +453,48 @@ func (s *Spec) Validate() error {
 		}
 	default:
 		return fmt.Errorf("scenario %q: unknown routing mode %q", s.Name, s.Routing)
+	}
+	switch s.RouteSync {
+	case "", RouteSyncOracle:
+		// Protocol-only constructs have no meaning under the oracle.
+		if s.RouteProto != nil {
+			return fmt.Errorf("scenario %q: route_proto set but route_sync is %q", s.Name, s.RouteSync)
+		}
+		for i, ev := range s.Events {
+			if ev.Kind == dynamics.SetRouteFaults {
+				return fmt.Errorf("scenario %q: event %d: %s requires route_sync %q", s.Name, i, ev.Kind, RouteSyncProtocol)
+			}
+			if ev.Policy == dynamics.PolicyRenumber {
+				return fmt.Errorf("scenario %q: event %d: the %s policy requires route_sync %q", s.Name, i, dynamics.PolicyRenumber, RouteSyncProtocol)
+			}
+		}
+	case RouteSyncProtocol:
+		if err := s.routeProtoConfig().Validate(); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+		if s.Routing != RoutingHier && len(nodes) > incrementalRouteLimit {
+			return fmt.Errorf("scenario %q: exact-mode protocol routing supports at most %d nodes (%d declared); use hier routing",
+				s.Name, incrementalRouteLimit, len(nodes))
+		}
+		renamed := make(map[string]bool)
+		for i, ev := range s.Events {
+			if ev.Policy != dynamics.PolicyRenumber {
+				continue
+			}
+			if s.Routing == RoutingHier {
+				return fmt.Errorf("scenario %q: event %d: the %s policy needs exact routing (a hier leaf's name encodes its position)", s.Name, i, dynamics.PolicyRenumber)
+			}
+			if nodes[ev.NewName] {
+				return fmt.Errorf("scenario %q: event %d: new name %q already in the topology", s.Name, i, ev.NewName)
+			}
+			if renamed[ev.Host] || renamed[ev.NewName] {
+				return fmt.Errorf("scenario %q: event %d: host %q renumbered more than once", s.Name, i, ev.Host)
+			}
+			renamed[ev.Host] = true
+			renamed[ev.NewName] = true
+		}
+	default:
+		return fmt.Errorf("scenario %q: unknown route_sync mode %q", s.Name, s.RouteSync)
 	}
 	return nil
 }

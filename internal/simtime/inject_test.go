@@ -21,10 +21,37 @@ func TestInjectAtStampOrdering(t *testing.T) {
 	// Local event scheduled at t=2ms for the same t=10ms: stamp 2ms.
 	s.At(10*time.Millisecond, rec("late-local"))
 	// Injection stamped 1ms: between the two local insertions.
-	s.InjectAt(10*time.Millisecond, time.Millisecond, func(any) { order = append(order, "injected") }, nil)
+	s.InjectAt(10*time.Millisecond, time.Millisecond, 0, func(any) { order = append(order, "injected") }, nil)
 	s.Run()
 
 	want := []string{"early-local", "injected", "late-local"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", order, want)
+		}
+	}
+}
+
+// Keyed events scheduled at one instant for one target time must run in key
+// order regardless of insertion order, and an injection carrying a key must
+// slot into that order — the double-tie rule that makes sharded runs agree
+// with serial ones when two links deliver at the same nanosecond.
+func TestKeyedTieOrdering(t *testing.T) {
+	s := NewScheduler()
+	var order []string
+	rec := func(tag string) func(any) { return func(any) { order = append(order, tag) } }
+
+	at := 10 * time.Millisecond
+	s.RunUntil(2 * time.Millisecond) // all insertions below share stamp 2ms
+	s.AtArgKeyed(at, 30, rec("key30"), nil)
+	s.AtArgKeyed(at, 10, rec("key10"), nil)
+	s.AtArg(at, rec("unkeyed"), nil) // key 0: ahead of every keyed event
+	// An injection stamped at the same 2ms instant with a key between the two
+	// local keyed events lands between them.
+	s.InjectAt(at, 2*time.Millisecond, 20, rec("injected20"), nil)
+	s.Run()
+
+	want := []string{"unkeyed", "key10", "injected20", "key30"}
 	for i := range want {
 		if i >= len(order) || order[i] != want[i] {
 			t.Fatalf("execution order %v, want %v", order, want)
@@ -41,7 +68,7 @@ func TestInjectAtPastPanics(t *testing.T) {
 			t.Fatal("InjectAt into the past must panic (conservative sync violation)")
 		}
 	}()
-	s.InjectAt(time.Millisecond, 0, func(any) {}, nil)
+	s.InjectAt(time.Millisecond, 0, 0, func(any) {}, nil)
 }
 
 // RunUntilBefore must stop short of events at exactly the horizon, and
@@ -85,11 +112,11 @@ func TestInjectAtZeroAlloc(t *testing.T) {
 	fn := func(any) {}
 	var arg struct{}
 	for i := 0; i < 64; i++ {
-		s.InjectAt(s.Now()+time.Microsecond, s.Now(), fn, &arg)
+		s.InjectAt(s.Now()+time.Microsecond, s.Now(), 0, fn, &arg)
 		s.Step()
 	}
 	allocs := testing.AllocsPerRun(200, func() {
-		s.InjectAt(s.Now()+time.Microsecond, s.Now(), fn, &arg)
+		s.InjectAt(s.Now()+time.Microsecond, s.Now(), 0, fn, &arg)
 		s.Step()
 	})
 	if allocs != 0 {

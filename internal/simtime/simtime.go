@@ -8,11 +8,15 @@
 // The central type is Scheduler. Events are scheduled at absolute virtual
 // times or after relative delays and are executed in timestamp order; ties are
 // broken by scheduling order (FIFO), which keeps runs reproducible. Each event
-// additionally records the virtual time it was *inserted* (its stamp), and the
-// full heap order is (time, stamp, seq). For ordinary scheduling the stamp is
-// redundant — stamps are nondecreasing in seq — but it is what lets a sharded
-// simulation inject events from another scheduler (InjectAt) into exactly the
-// position a single-scheduler run would have given them.
+// additionally records the virtual time it was *inserted* (its stamp) and an
+// optional caller-chosen sort key, and the full heap order is
+// (time, stamp, key, seq). For ordinary scheduling the extra keys are
+// redundant — stamps are nondecreasing in seq — but they are what lets a
+// sharded simulation inject events from another scheduler (InjectAt) into
+// exactly the position a single-scheduler run would have given them: the
+// stamp recovers the insertion instant, and the sort key breaks the residual
+// tie between events inserted at the same instant on different shards, where
+// no insertion order exists that both runs could observe.
 //
 // The scheduler is built for the inner loop of large experiments: the event
 // queue is a specialized 4-ary min-heap (no container/heap interface
@@ -63,15 +67,23 @@ type Event struct {
 	at time.Duration
 	// stamp is the virtual time the event was inserted: Now for local
 	// scheduling, the remote sender's insertion time for InjectAt. It is the
-	// second heap key, before seq, so injected events sort exactly where a
-	// single-scheduler run would have placed them.
+	// second heap key, before key and seq, so injected events sort exactly
+	// where a single-scheduler run would have placed them.
 	stamp time.Duration
 	seq   uint64
+	// key is a caller-chosen sort key breaking ties among events scheduled at
+	// the same (at, stamp); zero for ordinary scheduling. Keyed events exist
+	// for sharded determinism: two same-instant insertions on different
+	// schedulers have no common insertion order, so the key (derived from
+	// stable content — in practice the delivering link's identity) supplies
+	// one that serial and sharded runs agree on.
+	key uint32
 	// index is the heap position while queued, notQueued after firing or
 	// recycling, and canceledIdx once Cancel has run — folding the canceled
-	// flag into the index keeps the Event at 72 bytes (a bool would pad it
-	// to 80, measurably slowing the tie-heavy churn benchmark).
-	index int
+	// flag into the index keeps the Event at 72 bytes even with the sort key
+	// (int32 + uint32 pack where an int index alone used to sit; growing to
+	// 80 measurably slows the tie-heavy churn benchmark).
+	index int32
 	s     *Scheduler
 	fn    func()
 	argFn func(any)
@@ -97,7 +109,7 @@ func (e *Event) Cancel() {
 		return
 	}
 	if e.index >= 0 && e.s != nil {
-		e.s.removeEvent(e.index)
+		e.s.removeEvent(int(e.index))
 		e.s.recycle(e)
 	}
 	e.index = canceledIdx
@@ -123,12 +135,13 @@ type Scheduler struct {
 	seq      uint64
 	executed uint64
 	limit    uint64 // safety valve against runaway simulations; 0 = no limit
-	// stamped selects the three-key comparator that orders same-timestamp
-	// events by insertion stamp before seq. It flips on the first InjectAt
-	// and never back: for purely local scheduling stamps are nondecreasing
-	// in seq, so both comparators produce the same order (which also makes
-	// the mid-run flip safe — the heap is valid under either), and serial
-	// simulations never pay for the extra comparison.
+	// stamped selects the multi-key comparator that orders same-timestamp
+	// events by insertion stamp, then sort key, before seq. It flips on the
+	// first InjectAt or AtArgKeyed and never back: until then stamps are
+	// nondecreasing in seq and every key is zero, so both comparators
+	// produce the same order (which also makes the mid-run flip safe — the
+	// heap is valid under either), and simulations that use neither keyed
+	// scheduling nor injection never pay for the extra comparisons.
 	stamped bool
 }
 
@@ -175,13 +188,16 @@ func eventLessStamped(a, b *Event) bool {
 	if a.stamp != b.stamp {
 		return a.stamp < b.stamp
 	}
+	if a.key != b.key {
+		return a.key < b.key
+	}
 	return a.seq < b.seq
 }
 
 func (s *Scheduler) heapPush(ev *Event) {
-	ev.index = len(s.events)
+	ev.index = int32(len(s.events))
 	s.events = append(s.events, ev)
-	s.siftUp(ev.index)
+	s.siftUp(int(ev.index))
 }
 
 // heapPop removes and returns the minimum event. The caller guarantees the
@@ -212,11 +228,11 @@ func (s *Scheduler) removeEvent(i int) {
 	s.events = h[:n]
 	removed.index = notQueued
 	if i != n {
-		last.index = i
+		last.index = int32(i)
 		s.events[i] = last
 		// The moved element may need to go either direction.
 		s.siftDown(i)
-		s.siftUp(last.index)
+		s.siftUp(int(last.index))
 	}
 }
 
@@ -240,11 +256,11 @@ func (s *Scheduler) siftUp(i int) {
 			break
 		}
 		h[i] = p
-		p.index = i
+		p.index = int32(i)
 		i = parent
 	}
 	h[i] = ev
-	ev.index = i
+	ev.index = int32(i)
 }
 
 func (s *Scheduler) siftDown(i int) {
@@ -276,11 +292,11 @@ func (s *Scheduler) siftDown(i int) {
 			break
 		}
 		h[i] = child
-		child.index = i
+		child.index = int32(i)
 		i = min
 	}
 	h[i] = ev
-	ev.index = i
+	ev.index = int32(i)
 }
 
 func (s *Scheduler) siftUpStamped(i int) {
@@ -293,11 +309,11 @@ func (s *Scheduler) siftUpStamped(i int) {
 			break
 		}
 		h[i] = p
-		p.index = i
+		p.index = int32(i)
 		i = parent
 	}
 	h[i] = ev
-	ev.index = i
+	ev.index = int32(i)
 }
 
 func (s *Scheduler) siftDownStamped(i int) {
@@ -324,11 +340,11 @@ func (s *Scheduler) siftDownStamped(i int) {
 			break
 		}
 		h[i] = child
-		child.index = i
+		child.index = int32(i)
 		i = min
 	}
 	h[i] = ev
-	ev.index = i
+	ev.index = int32(i)
 }
 
 // newEvent takes an event from the freelist (or allocates one) and resets it.
@@ -343,6 +359,7 @@ func (s *Scheduler) newEvent(t time.Duration) *Event {
 	}
 	ev.at = t
 	ev.stamp = s.now
+	ev.key = 0
 	ev.seq = s.seq
 	ev.index = notQueued
 	ev.s = s
@@ -408,23 +425,62 @@ func (s *Scheduler) AfterArg(d time.Duration, fn func(any), arg any) *Event {
 	return s.AtArg(s.now+d, fn, arg)
 }
 
+// AtArgKeyed schedules fn(arg) at absolute virtual time t with a sort key:
+// among events sharing both timestamp and insertion stamp, lower keys run
+// first, before any seq (insertion-order) consideration. It exists for events
+// that must order identically in serial and sharded executions — two events
+// inserted at the same instant on different shards have no common insertion
+// order, so a key derived from stable content (the delivering link) supplies
+// the order both runs agree on. netsim keys every packet-delivery hand-up
+// with the link direction's identity; see Link.SortKey.
+func (s *Scheduler) AtArgKeyed(t time.Duration, key uint32, fn func(any), arg any) *Event {
+	if fn == nil {
+		panic("simtime: AtArgKeyed called with nil function")
+	}
+	if t < s.now {
+		t = s.now
+	}
+	// Keys carry information only under the three-key comparator; switch to
+	// it permanently, exactly as InjectAt does (see Scheduler.stamped — the
+	// flip is safe because every already-queued event has key zero and local
+	// stamps are nondecreasing in seq, so the heap is valid under both
+	// comparators at the moment of the flip).
+	s.stamped = true
+	ev := s.newEvent(t)
+	ev.key = key
+	ev.argFn = fn
+	ev.arg = arg
+	s.heapPush(ev)
+	return ev
+}
+
+// AfterArgKeyed schedules fn(arg) after delay d with a sort key (AtArgKeyed).
+func (s *Scheduler) AfterArgKeyed(d time.Duration, key uint32, fn func(any), arg any) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.AtArgKeyed(s.now+d, key, fn, arg)
+}
+
 // InjectAt schedules fn(arg) at absolute time t with an explicit insertion
-// stamp. It is the cross-scheduler handoff used by sharded execution: the
-// sending shard computed the event (a packet delivery) at virtual time stamp,
-// and the receiving shard schedules it during a synchronization barrier. The
-// stamp slots the event among same-timestamp local events exactly where a
-// single-scheduler run would have placed it — local events inserted earlier
-// than stamp sort first, later ones after — so sharded runs reproduce the
-// serial event order. (A local event inserted at *exactly* the stamp instant
-// with the same target time still sorts by seq, i.e. before the injection;
-// see the residual tie rule on scenario's drain for why that matches the
-// runs we can observe.)
+// stamp and sort key. It is the cross-scheduler handoff used by sharded
+// execution: the sending shard computed the event (a packet delivery) at
+// virtual time stamp, and the receiving shard schedules it during a
+// synchronization barrier. The stamp slots the event among same-timestamp
+// local events exactly where a single-scheduler run would have placed it —
+// local events inserted earlier than stamp sort first, later ones after — and
+// the key breaks the remaining tie against events inserted at *exactly* the
+// stamp instant, provided those were scheduled with the same key discipline
+// (AtArgKeyed): a serial run orders such double-ties by key too, so both
+// executions agree without either observing the other's insertion order.
+// (Unkeyed local events at the double-tie instant sort by key zero, i.e.
+// before any keyed injection, in both runs alike.)
 //
 // Injecting into the past (t < Now) panics: it means the conservative
 // synchronization invariant (arrival >= sender clock + lookahead >= receiver
 // clock) was violated, and executing the event would silently diverge from
 // the serial run instead.
-func (s *Scheduler) InjectAt(t, stamp time.Duration, fn func(any), arg any) *Event {
+func (s *Scheduler) InjectAt(t, stamp time.Duration, key uint32, fn func(any), arg any) *Event {
 	if fn == nil {
 		panic("simtime: InjectAt called with nil function")
 	}
@@ -439,6 +495,7 @@ func (s *Scheduler) InjectAt(t, stamp time.Duration, fn func(any), arg any) *Eve
 	s.stamped = true
 	ev := s.newEvent(t)
 	ev.stamp = stamp
+	ev.key = key
 	ev.argFn = fn
 	ev.arg = arg
 	s.heapPush(ev)

@@ -21,7 +21,7 @@ import (
 //	link[i].{loss | bandwidth | delay | queue | seed |
 //	         ge.p_good_bad | ge.p_bad_good | ge.loss_good | ge.loss_bad | ge.tick}
 //	workload[i].{flows | bytes | rate | start | recv_window | port | cc | kind}
-//	event[i].{at | drop_rate | delay_rate | delay | outage}
+//	event[i].{at | drop_rate | delay_rate | duplicate_rate | delay | outage}
 //	generator[i].{seed | mean | mean_up | mean_down | start | end}
 //
 // i is a zero-based index or * for every element. Durations (duration, delay,
@@ -238,6 +238,8 @@ func applyEvent(e *dynamics.Event, param, field string, v Value) error {
 		e.DropRate = n
 	case "delay_rate":
 		e.DelayRate = n
+	case "duplicate_rate":
+		e.DuplicateRate = n
 	case "delay":
 		e.Delay = seconds(n)
 	case "outage":
