@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench perf bench-smoke sweep-smoke soak-smoke fattree-smoke probe-smoke route-smoke
+.PHONY: ci vet build test race bench perf bench-smoke sweep-smoke soak-smoke fattree-smoke probe-smoke route-smoke trend
 
 ci: vet build race bench
 
@@ -58,8 +58,11 @@ soak-smoke:
 # In-run observability smoke: re-run the flight recorder's zero-alloc gate
 # and the probes-active byte-identity/determinism checks, then a sharded
 # churn run with declarative probes, the flight recorder, mid-run snapshot
-# invariant checking and the shard-execution timeline all armed. CI uploads
-# PROBE_SMOKE.csv and SHARD_TIMELINE.json (see docs/OBSERVABILITY.md).
+# invariant checking, the shard-execution timeline and the structured run
+# report all armed (-report exits nonzero on a non-clean faults verdict, like
+# -check-invariants), then one small sweep with plot emission. CI uploads
+# PROBE_SMOKE.csv, SHARD_TIMELINE.json, RUN_REPORT.{json,md} and plots/ (see
+# docs/OBSERVABILITY.md).
 probe-smoke:
 	$(GO) test -run TestRecorderAppendZeroAlloc ./internal/probe/
 	$(GO) test -short -run 'TestShardedRunsAreByteIdentical|TestProbeSeriesDeterministic' ./internal/scenario/
@@ -67,7 +70,16 @@ probe-smoke:
 		-probe "link[0].queue_depth" -probe "link[0].utilization" \
 		-probe "cm[s0].cwnd" -trace-depth 512 -snapshot-every 1s \
 		-check-invariants -probe-csv PROBE_SMOKE.csv \
-		-timeline-out SHARD_TIMELINE.json > /dev/null
+		-timeline-out SHARD_TIMELINE.json \
+		-report RUN_REPORT.json -report-md RUN_REPORT.md > /dev/null
+	$(GO) run ./cmd/cmsim -scenario p2p -replicates 2 \
+		-sweep "link[0].loss=0,0.01,0.02" -plot-dir plots -csv > /dev/null
+
+# Per-benchmark ns/op trajectory across every committed BENCH_*.json perf
+# snapshot (one per PR): the markdown table to stdout, the long-format CSV to
+# TREND.csv. CI uploads TREND.csv as an artifact.
+trend:
+	$(GO) run ./cmd/cmbench -trend -trend-csv TREND.csv
 
 # Routing-convergence smoke: the fat-tree route-flap scenario under the
 # distance-vector control plane, swept over the routing-message drop rate

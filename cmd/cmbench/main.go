@@ -11,12 +11,16 @@
 //	cmbench -experiment failure  # adaptation under a scheduled bottleneck outage
 //	cmbench -experiment perf     # benchmark the simulation core's hot loops
 //	                             # and write a BENCH_<pr>.json perf snapshot
+//	cmbench -trend               # per-benchmark trajectory across all
+//	                             # committed BENCH_*.json snapshots
+//	cmbench -trend -trend-csv TREND.csv  # same, plus the long-format CSV
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -43,10 +47,22 @@ func run() int {
 		perfOut = flag.String("perfout", "BENCH_1.json", "output path for the perf snapshot written by -experiment perf")
 		perfPR  = flag.Int("pr", 1, "PR number stamped into the perf snapshot")
 		compare = flag.String("compare", "", "older BENCH_*.json to diff the perf snapshot against (\"latest\" picks the highest-numbered committed one); >25% ns/op regressions fail")
+		trend    = flag.Bool("trend", false, "print the per-benchmark trajectory across every committed BENCH_*.json and exit (no experiments run)")
+		trendCSV = flag.String("trend-csv", "", "with -trend: also write the trajectory as long-format CSV (benchmark,pr,ns_op,allocs_op,bytes_op) to this file (\"-\" = stdout)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile (taken after the experiments) to this file")
 	)
 	flag.Parse()
+
+	if *trend {
+		// Trajectory mode reads the committed snapshots next to -perfout; it
+		// measures nothing itself, so it short-circuits the experiments.
+		if err := runTrend(filepath.Dir(*perfOut), *trendCSV); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)

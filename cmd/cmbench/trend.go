@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The trend mode reads every committed BENCH_<pr>.json next to -perfout — the
+// per-PR perf snapshots the bench-smoke gate writes — and renders the
+// trajectory of each benchmark across them: where each hot loop started,
+// where it is now, and the cumulative drift. The repo's history of perf
+// snapshots thus doubles as a longitudinal benchmark database.
+
+// loadSnapshots parses every BENCH_<n>.json in dir, sorted by PR number.
+func loadSnapshots(dir string) ([]perfSnapshot, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	type numbered struct {
+		n    int
+		path string
+	}
+	var files []numbered
+	for _, m := range matches {
+		base := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(m), "BENCH_"), ".json")
+		n, err := strconv.Atoi(base)
+		if err != nil {
+			continue
+		}
+		files = append(files, numbered{n, m})
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no BENCH_*.json snapshots in %q", dir)
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].n < files[j].n })
+	var snaps []perfSnapshot
+	for _, f := range files {
+		data, err := os.ReadFile(f.path)
+		if err != nil {
+			return nil, err
+		}
+		var s perfSnapshot
+		if err := json.Unmarshal(data, &s); err != nil {
+			return nil, fmt.Errorf("parse %s: %w", f.path, err)
+		}
+		// The filename is authoritative for ordering; a mis-stamped PR field
+		// inside the file must not reorder the trajectory.
+		s.PR = f.n
+		snaps = append(snaps, s)
+	}
+	return snaps, nil
+}
+
+// trendBenchNames returns every benchmark name across the snapshots, in
+// first-appearance order (so the table reads oldest loops first).
+func trendBenchNames(snaps []perfSnapshot) []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, s := range snaps {
+		for _, r := range s.Results {
+			if !seen[r.Name] {
+				seen[r.Name] = true
+				names = append(names, r.Name)
+			}
+		}
+	}
+	return names
+}
+
+// trendCSV renders the full trajectory in long format, one row per
+// (benchmark, snapshot):
+//
+//	benchmark,pr,ns_op,allocs_op,bytes_op
+func trendCSV(snaps []perfSnapshot) string {
+	var b strings.Builder
+	b.WriteString("benchmark,pr,ns_op,allocs_op,bytes_op\n")
+	for _, name := range trendBenchNames(snaps) {
+		for i := range snaps {
+			r := findResult(snaps[i], name)
+			if r == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "%s,%d,%s,%d,%d\n", name, snaps[i].PR,
+				strconv.FormatFloat(r.NsPerOp, 'f', 1, 64), r.AllocsPerOp, r.BytesPerOp)
+		}
+	}
+	return b.String()
+}
+
+// trendTable renders the markdown summary: each benchmark's first and most
+// recent measurement and the cumulative ns/op drift between them. Negative
+// delta is a speedup.
+func trendTable(snaps []perfSnapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "| benchmark | first (PR) | last (PR) | Δ ns/op | allocs/op | points |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|---|---|\n")
+	for _, name := range trendBenchNames(snaps) {
+		var first, last *perfResult
+		firstPR, lastPR, points := 0, 0, 0
+		for i := range snaps {
+			r := findResult(snaps[i], name)
+			if r == nil {
+				continue
+			}
+			if first == nil {
+				first, firstPR = r, snaps[i].PR
+			}
+			last, lastPR = r, snaps[i].PR
+			points++
+		}
+		if first == nil {
+			continue
+		}
+		delta := "n/a"
+		if first.NsPerOp > 0 && points > 1 {
+			delta = fmt.Sprintf("%+.1f%%", (last.NsPerOp/first.NsPerOp-1)*100)
+		}
+		fmt.Fprintf(&b, "| %s | %.1f (%d) | %.1f (%d) | %s | %d | %d |\n",
+			name, first.NsPerOp, firstPR, last.NsPerOp, lastPR, delta, last.AllocsPerOp, points)
+	}
+	return b.String()
+}
+
+// runTrend is the -trend entry point: print the markdown trajectory table
+// and, when csvPath is set, write the long-format CSV too.
+func runTrend(dir, csvPath string) error {
+	snaps, err := loadSnapshots(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benchmark trajectory across %d snapshots (PR %d..%d):\n\n",
+		len(snaps), snaps[0].PR, snaps[len(snaps)-1].PR)
+	fmt.Print(trendTable(snaps))
+	if csvPath != "" {
+		csv := trendCSV(snaps)
+		if csvPath == "-" {
+			fmt.Print(csv)
+			return nil
+		}
+		if err := os.WriteFile(csvPath, []byte(csv), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", csvPath)
+	}
+	return nil
+}

@@ -34,6 +34,14 @@
 //	cmsim -scenario churn -trace-out trace.txt                # flight-recorder dump
 //	cmsim -scenario grid -shards 4 -timeline-out timeline.json # Chrome trace_event
 //	cmsim -scenario churn -snapshot-every 1s -check-invariants # first-violation time
+//	cmsim -scenario grid -shards 4 -report report.json        # structured run report
+//	cmsim -scenario grid -report-md report.md                 # same, as markdown
+//	cmsim -campaign examples/campaigns/fig3.json -plot-dir plots # sweep SVG figures
+//
+// A run report bundles the spec summary, result counters, routing audit,
+// faults verdict, per-event-kind cost attribution and probe summaries into
+// one deterministic document; a non-clean faults verdict exits nonzero, like
+// -check-invariants.
 //
 // Legacy point-to-point mode (no -scenario):
 //
@@ -58,6 +66,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/probe"
+	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/sweep"
 )
@@ -145,6 +154,9 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "dump the flight-recorder rings to this file after the first run (\"-\" = stdout); implies -trace-depth 1024 when unset")
 		timelineOut = flag.String("timeline-out", "", "write the first run's execution timeline as Chrome trace_event JSON to this file (load in chrome://tracing or Perfetto)")
 		snapEvery   = flag.Duration("snapshot-every", 0, "capture a full mid-run result snapshot at this virtual-time interval")
+		reportOut   = flag.String("report", "", "write the first run's structured run report as JSON to this file (\"-\" = stdout); arms per-event-kind cost attribution and exits nonzero on a non-clean faults verdict")
+		reportMD    = flag.String("report-md", "", "write the first run's structured run report as markdown to this file (\"-\" = stdout)")
+		plotDir     = flag.String("plot-dir", "", "sweep mode: render the campaign's plots (or derived defaults) as SVG files into this directory (see docs/SWEEPS.md)")
 
 		bw       = flag.Float64("bw", 10e6, "legacy mode: bottleneck bandwidth in bits/second")
 		rtt      = flag.Duration("rtt", 60*time.Millisecond, "legacy mode: round-trip propagation delay")
@@ -180,7 +192,7 @@ func main() {
 	if *campaign != "" || len(sweeps) > 0 {
 		set := make(map[string]bool)
 		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-		if err := runCampaign(*campaign, sweeps, probes, *names, params, *replicates, *shards, *parallel, *jsonOut, *csvOut, *checkInv, set); err != nil {
+		if err := runCampaign(*campaign, sweeps, probes, *names, params, *replicates, *shards, *parallel, *jsonOut, *csvOut, *checkInv, *plotDir, set); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
@@ -229,15 +241,20 @@ func main() {
 	}
 
 	// Runs that need mid-run artifacts (a trace dump, an execution timeline,
-	// snapshots for first-violation reporting) keep the built Sim around, so
-	// they drive the pieces directly instead of going through the batch
-	// runner; results are byte-identical either way.
-	instrumented := *traceOut != "" || *timelineOut != "" || *snapEvery > 0
+	// snapshots for first-violation reporting, a run report) keep the built
+	// Sim around, so they drive the pieces directly instead of going through
+	// the batch runner; results are byte-identical either way.
+	wantReport := *reportOut != "" || *reportMD != ""
+	instrumented := *traceOut != "" || *timelineOut != "" || *snapEvery > 0 || wantReport
+	// Cost attribution rides the run report and the execution timeline's
+	// per-window breakdowns; profiling observes execution only, so arming it
+	// never changes the Result.
+	profile := wantReport || *timelineOut != ""
 	var outcomes []scenario.RunOutcome
 	var sims []*scenario.Sim
 	if instrumented {
 		for _, spec := range specs {
-			sim, res, err := runInstrumentedSpec(spec, *timelineOut != "")
+			sim, res, err := runInstrumentedSpec(spec, *timelineOut != "", profile)
 			if err != nil {
 				outcomes = append(outcomes, scenario.RunOutcome{Err: err.Error()})
 				sims = append(sims, nil)
@@ -251,9 +268,11 @@ func main() {
 	}
 
 	var firstSim *scenario.Sim
-	for _, sim := range sims {
+	firstRes := (*scenario.Result)(nil)
+	for i, sim := range sims {
 		if sim != nil {
 			firstSim = sim
+			firstRes = outcomes[i].Result
 			break
 		}
 	}
@@ -271,6 +290,26 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
+		}
+	}
+	var runReport *report.Report
+	if wantReport {
+		if firstSim == nil || firstRes == nil {
+			fmt.Fprintln(os.Stderr, "-report: no successful run to report")
+			os.Exit(2)
+		}
+		runReport = report.Build(firstSim, firstRes)
+		if *reportOut != "" {
+			if err := writeArtifact(*reportOut, runReport.WriteJSON); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
+		if *reportMD != "" {
+			if err := writeArtifact(*reportMD, runReport.WriteMarkdown); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
 		}
 	}
 	if *probeCSV != "" {
@@ -338,6 +377,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	// The run report's verdict carries the same weight as -check-invariants:
+	// a non-clean report is a failed run.
+	if runReport != nil && !runReport.Faults.Clean {
+		reportViolations(runReport.Faults.Violations)
+		os.Exit(1)
+	}
 	for _, o := range outcomes {
 		if o.Err != "" {
 			os.Exit(1)
@@ -348,13 +393,16 @@ func main() {
 // runInstrumentedSpec builds and runs one spec in-process, keeping the Sim
 // so mid-run artifacts (flight-recorder rings, execution timeline, mid-run
 // snapshots) survive the run for the caller to export.
-func runInstrumentedSpec(spec scenario.Spec, timeline bool) (*scenario.Sim, *scenario.Result, error) {
+func runInstrumentedSpec(spec scenario.Spec, timeline, profile bool) (*scenario.Sim, *scenario.Result, error) {
 	sim, err := scenario.Build(spec)
 	if err != nil {
 		return nil, nil, err
 	}
 	if timeline {
 		sim.EnableExecutionTimeline()
+	}
+	if profile {
+		sim.EnableProfiling()
 	}
 	if err := sim.Start(); err != nil {
 		return nil, nil, err
@@ -396,7 +444,7 @@ func reportViolations(violations []faults.Violation) bool {
 // one assembled from -scenario plus repeated -sweep axes. With -campaign,
 // explicitly passed -replicates/-shards override the file's values; a
 // -scenario alongside -campaign is rejected rather than silently ignored.
-func runCampaign(file string, sweeps []string, probes []probe.Spec, names string, params map[string]float64, replicates, shards, parallel int, jsonOut, csvOut, checkInv bool, set map[string]bool) error {
+func runCampaign(file string, sweeps []string, probes []probe.Spec, names string, params map[string]float64, replicates, shards, parallel int, jsonOut, csvOut, checkInv bool, plotDir string, set map[string]bool) error {
 	var camp sweep.Campaign
 	switch {
 	case file != "" && len(sweeps) > 0:
@@ -452,6 +500,16 @@ func runCampaign(file string, sweeps []string, probes []probe.Spec, names string
 		fmt.Printf("%s\n", data)
 	default:
 		fmt.Print(res.Table())
+	}
+	if plotDir != "" {
+		if err := os.MkdirAll(plotDir, 0o755); err != nil {
+			return err
+		}
+		files, err := camp.WritePlots(res, plotDir)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d plot(s) to %s: %s\n", len(files), plotDir, strings.Join(files, " "))
 	}
 	if checkInv && reportViolations(faults.CheckCampaign(res)) {
 		return fmt.Errorf("campaign %s failed invariant checking", camp.Name)

@@ -103,7 +103,7 @@ func NewReceiver(h *node.Host, port int, policy FeedbackPolicy, rateWindow time.
 	// macroflow on the receiving host (which typically has no CM at all).
 	sock.MarkControl()
 	sock.OnReceive(r.onDatagram)
-	r.reportTimer = h.Clock().NewTimer(r.flushReport)
+	r.reportTimer = h.Clock().NewKindTimer(simtime.KindWorkloadApp, r.flushReport)
 	return r, nil
 }
 

@@ -167,9 +167,9 @@ func NewLayeredServer(h *node.Host, lib *libcm.Lib, dst netsim.Addr, cfg Layered
 			s.stats.FeedbackReports++
 		}
 	})
-	s.sendTimer = h.Clock().NewTimer(s.onSendTimer)
-	s.pollTimer = h.Clock().NewTimer(s.onPoll)
-	s.watchdogTimer = h.Clock().NewTimer(s.onWatchdog)
+	s.sendTimer = h.Clock().NewKindTimer(simtime.KindWorkloadApp, s.onSendTimer)
+	s.pollTimer = h.Clock().NewKindTimer(simtime.KindWorkloadApp, s.onPoll)
+	s.watchdogTimer = h.Clock().NewKindTimer(simtime.KindWorkloadApp, s.onWatchdog)
 	lib.SetRestartHandler(s.onCMRestart)
 	return s, nil
 }

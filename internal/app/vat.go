@@ -120,7 +120,7 @@ func NewVatSource(h *node.Host, cmgr *cm.CM, dst netsim.Addr, cfg VatConfig) (*V
 	})
 	// The kernel buffer pulls from the application buffer on demand.
 	cc.OnSpace(func() { v.fillKernel() })
-	v.frameTk = h.Clock().NewTimer(v.onFrame)
+	v.frameTk = h.Clock().NewKindTimer(simtime.KindWorkloadApp, v.onFrame)
 	// Start with whatever the CM currently estimates.
 	if st, ok := cmgr.Query(cc.Flow()); ok {
 		v.policerRate = st.Rate

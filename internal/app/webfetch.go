@@ -140,7 +140,7 @@ func (c *FetchClient) fetch(index, count int, spacing time.Duration) {
 		})
 		// Finish our side of the connection, then schedule the next fetch.
 		ep.Close()
-		sched.After(spacing, func() { c.fetch(index+1, count, spacing) })
+		sched.AfterKind(spacing, simtime.KindWorkloadApp, func() { c.fetch(index+1, count, spacing) })
 	})
 }
 
@@ -186,7 +186,7 @@ func NewOnOffSource(h *node.Host, dst netsim.Addr, rate float64, packetSize int,
 		onPeriod:   onPeriod,
 		offPeriod:  offPeriod,
 	}
-	s.timer = h.Clock().NewTimer(s.tick)
+	s.timer = h.Clock().NewKindTimer(simtime.KindWorkloadApp, s.tick)
 	return s, nil
 }
 

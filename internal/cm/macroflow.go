@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/probe"
+	"repro/internal/simtime"
 )
 
 // grant records permission given to a flow to send up to one MTU, not yet
@@ -79,7 +80,7 @@ func newMacroflow(cm *CM, key macroflowKey) *Macroflow {
 		MaxWindowBytes:    cm.cfg.MaxWindowBytes,
 	})
 	mf.sched = cm.cfg.NewScheduler()
-	mf.background = cm.timers.NewTimer(mf.onBackgroundTimer)
+	mf.background = simtime.NewKindTimer(cm.timers, simtime.KindCMGrant, mf.onBackgroundTimer)
 	mf.lastFeedback = cm.clock.Now()
 	mf.lastActivity = cm.clock.Now()
 	return mf

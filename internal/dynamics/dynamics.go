@@ -359,7 +359,7 @@ func (t *Timeline) Install() {
 			continue
 		}
 		idx := i
-		t.sched.At(t.recs[i].At, func() { t.fire(idx) })
+		t.sched.AtKind(t.recs[i].At, simtime.KindDynamics, func() { t.fire(idx) })
 	}
 }
 

@@ -117,7 +117,7 @@ func New(c *cm.CM, timers simtime.TimerFactory, mode Mode) *Lib {
 		updateSeq:     make(map[cm.FlowID]uint64),
 		queuedSeq:     make(map[cm.FlowID]uint64),
 	}
-	l.dispatchTimer = timers.NewTimer(func() {
+	l.dispatchTimer = simtime.NewKindTimer(timers, simtime.KindCMNotify, func() {
 		l.dispatchScheduled = false
 		l.Dispatch()
 	})
@@ -283,7 +283,7 @@ func (l *Lib) DeliverSend(f cm.FlowID, _ cm.SendCallback) {
 			return
 		case faultDelay:
 			l.injector.stats.DelayedSends++
-			l.timers.NewTimer(func() {
+			simtime.NewKindTimer(l.timers, simtime.KindCMNotify, func() {
 				l.pendingSend = append(l.pendingSend, f)
 				l.becameReady()
 			}).Reset(l.injector.delay)
@@ -309,7 +309,7 @@ func (l *Lib) DeliverUpdate(f cm.FlowID, st cm.Status, _ cm.UpdateCallback) {
 			return
 		case faultDelay:
 			l.injector.stats.DelayedUpdates++
-			l.timers.NewTimer(func() {
+			simtime.NewKindTimer(l.timers, simtime.KindCMNotify, func() {
 				l.queueStatus(f, st, seq)
 			}).Reset(l.injector.delay)
 			return

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"repro/internal/simtime"
 )
 
 // GilbertElliott configures the two-state bursty loss model of the same name:
@@ -121,9 +123,9 @@ func (l *Link) armGETick() {
 			l.geBad = !l.geBad
 			l.stats.GETransitions++
 		}
-		l.sched.After(g.Tick, fire)
+		l.sched.AfterKind(g.Tick, simtime.KindDynamics, fire)
 	}
-	l.sched.After(l.gilbert.Tick, fire)
+	l.sched.AfterKind(l.gilbert.Tick, simtime.KindDynamics, fire)
 }
 
 // geTickSeedOffset derives the tick RNG's seed from the link seed. The

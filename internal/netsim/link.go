@@ -130,6 +130,14 @@ type Link struct {
 	// from other links (see SortKey). Derived from the direction name at
 	// construction so serial and sharded builds agree on it.
 	key uint32
+	// deliverSeq is the link-local delivery sequence: incremented once per
+	// serialised packet and attached to the hand-up event as the scheduler's
+	// sub-sequence tie-break, so multiple same-instant deliveries of one
+	// direction order by an explicit, shard-independent number instead of
+	// scheduler insertion order. uint32 wrap after ~4.3e9 deliveries on one
+	// direction could misorder only a pair tied at the same instant across
+	// the wrap — beyond any run this simulator performs.
+	deliverSeq uint32
 	// rng is the link's private random source for loss/reorder/duplicate
 	// draws, created lazily by random(): a rand.Rand source is ~5 KB, and in
 	// an internet-scale topology almost every link is lossless and never
@@ -276,9 +284,10 @@ func (l *Link) SetSendTap(fn func(pkt *Packet)) { l.sendTap = fn }
 // RemoteDeliver receives a serialised packet whose delivery belongs to
 // another scheduler: the packet arrives at the destination at time arrive;
 // sent is the sender-side virtual time serialisation completed (the insertion
-// stamp for deterministic ordering). dup is the duplication-impairment clone
-// to hand up immediately after pkt, or nil.
-type RemoteDeliver func(pkt, dup *Packet, arrive, sent time.Duration)
+// stamp for deterministic ordering) and seq the link-local delivery sequence
+// (the sub-sequence tie-break; see Link.deliverSeq). dup is the
+// duplication-impairment clone to hand up immediately after pkt, or nil.
+type RemoteDeliver func(pkt, dup *Packet, arrive, sent time.Duration, seq uint32)
 
 // SetRemoteDeliver diverts this link's deliveries to a cross-scheduler hook.
 // Serialisation, queueing and the loss/reorder/duplicate draws still run on
@@ -460,7 +469,7 @@ func (l *Link) startTransmit() {
 	l.txDelay = l.cfg.Delay
 	// Delivery happens after serialisation plus propagation; the link is
 	// free to serialise the next packet as soon as this one has left.
-	l.sched.AfterArg(txTime, l.txDone, pkt)
+	l.sched.AfterArgKind(txTime, simtime.KindPktTransmit, l.txDone, pkt)
 }
 
 func (l *Link) deliver(pkt *Packet) {
@@ -488,11 +497,17 @@ func (l *Link) deliver(pkt *Packet) {
 		// receiver may release the original back to the pool.
 		dup = pkt.Clone()
 	}
+	// Every serialised packet takes the next link-local delivery sequence
+	// number; it rides on the hand-up event (or the cross-shard injection) as
+	// the sub-sequence tie-break. Assigned in serialisation-completion order,
+	// which is exactly the insertion order a serial run would use.
+	l.deliverSeq++
+	sub := l.deliverSeq
 	if l.remote != nil {
 		// Cross-scheduler delivery: the destination's shard performs the
 		// hand-up (DeliverRemote) at the arrival time.
 		now := l.sched.Now()
-		l.remote(pkt, dup, now+delay, now)
+		l.remote(pkt, dup, now+delay, now, sub)
 		return
 	}
 	if dup != nil {
@@ -501,7 +516,7 @@ func (l *Link) deliver(pkt *Packet) {
 		// value — capturing dup itself would heap-allocate its cell on every
 		// deliver call and break the zero-alloc gate.)
 		d := dup
-		l.sched.AfterArgKeyed(delay, l.key, func(any) {
+		l.sched.AfterArgKeyed(delay, l.key, sub, simtime.KindPktDeliver, func(any) {
 			l.handUp(pkt)
 			l.stats.Duplicated++
 			l.handUp(d)
@@ -510,8 +525,9 @@ func (l *Link) deliver(pkt *Packet) {
 	}
 	// Hand-ups are keyed by the link direction so same-instant deliveries
 	// from different links order by link identity — the only tie-break that
-	// serial and sharded executions can both compute (see SortKey).
-	l.sched.AfterArgKeyed(delay, l.key, l.handUpArg, pkt)
+	// serial and sharded executions can both compute (see SortKey) — and
+	// sub-sequenced by the delivery number within the direction.
+	l.sched.AfterArgKeyed(delay, l.key, sub, simtime.KindPktDeliver, l.handUpArg, pkt)
 }
 
 // DeliverRemote is the receiving-side half of a cross-scheduler delivery: the

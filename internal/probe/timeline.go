@@ -23,6 +23,20 @@ type Span struct {
 	// Count is span-specific: cross-shard deliveries injected at a barrier,
 	// dynamics events fired, zero otherwise.
 	Count int
+	// Kinds, when profiling is armed, is the per-event-kind cost breakdown of
+	// the work executed inside the span (a window's worth of scheduler
+	// events), already ordered for emission by the producer.
+	Kinds []KindCost
+}
+
+// KindCost is one event kind's contribution to a span: how many events of the
+// kind fired inside it and their total wall-clock cost. The kind names come
+// from simtime.Kind (probe stays independent of simtime, so they arrive as
+// strings).
+type KindCost struct {
+	Kind  string
+	Count uint64
+	Ns    int64
 }
 
 // Timeline collects execution Spans per lane. Lanes are written
@@ -108,6 +122,18 @@ func (t *Timeline) WriteJSON(w io.Writer) error {
 		}
 		if s.Count != 0 {
 			args["count"] = s.Count
+		}
+		if len(s.Kinds) > 0 {
+			// One {"count", "ms"} object per kind; encoding/json sorts the
+			// map keys, so the output is deterministic for a fixed breakdown.
+			kinds := make(map[string]any, len(s.Kinds))
+			for _, kc := range s.Kinds {
+				kinds[kc.Kind] = map[string]any{
+					"count": kc.Count,
+					"ms":    float64(kc.Ns) / float64(time.Millisecond),
+				}
+			}
+			args["kinds"] = kinds
 		}
 		events = append(events, traceEvent{
 			Name: s.Name, Ph: "X",

@@ -1,0 +1,95 @@
+package probe
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the timeline golden files")
+
+// checkGolden compares the timeline's trace_event export against the named
+// golden file (regenerate with `go test ./internal/probe -run Golden -update`).
+// The export contains only span-relative offsets — the wall-clock epoch never
+// appears — so hand-constructed spans render byte-identically everywhere.
+func checkGolden(t *testing.T, tl *Timeline, name string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace_event output differs from %s:\ngot:  %s\nwant: %s", path, buf.Bytes(), want)
+	}
+}
+
+// The serial case: one lane, one whole-run span, with a per-kind cost
+// breakdown as the profiler produces it.
+func TestTimelineGoldenSerial(t *testing.T) {
+	tl := NewTimeline("serial")
+	tl.Add(0, Span{
+		Name:  "run",
+		Start: 250 * time.Microsecond, Dur: 42 * time.Millisecond,
+		VirtStart: 0, VirtEnd: 3 * time.Second,
+		Kinds: []KindCost{
+			{Kind: "pkt-deliver", Count: 1200, Ns: 18_500_000},
+			{Kind: "pkt-transmit", Count: 1180, Ns: 9_000_000},
+			{Kind: "workload-app", Count: 64, Ns: 2_250_000},
+		},
+	})
+	checkGolden(t, tl, "timeline_serial.json")
+}
+
+// The sharded case: two shard lanes plus the coordinator, two windows each
+// with breakdowns, and the barrier spans carrying injection counts.
+func TestTimelineGoldenSharded(t *testing.T) {
+	tl := NewTimeline("shard 0", "shard 1", "coordinator")
+	tl.Add(0, Span{
+		Name: "window", Start: 100 * time.Microsecond, Dur: 5 * time.Millisecond,
+		VirtStart: 0, VirtEnd: 10 * time.Millisecond,
+		Kinds: []KindCost{
+			{Kind: "pkt-deliver", Count: 40, Ns: 700_000},
+			{Kind: "pkt-transmit", Count: 38, Ns: 300_000},
+		},
+	})
+	tl.Add(1, Span{
+		Name: "window", Start: 120 * time.Microsecond, Dur: 4 * time.Millisecond,
+		VirtStart: 0, VirtEnd: 10 * time.Millisecond,
+		Kinds: []KindCost{
+			{Kind: "cm-grant", Count: 12, Ns: 150_000},
+		},
+	})
+	tl.Add(2, Span{
+		Name: "barrier", Start: 5200 * time.Microsecond, Dur: 80 * time.Microsecond,
+		VirtStart: 10 * time.Millisecond, VirtEnd: 10 * time.Millisecond, Count: 3,
+	})
+	tl.Add(0, Span{
+		Name: "window", Start: 5300 * time.Microsecond, Dur: 4500 * time.Microsecond,
+		VirtStart: 10 * time.Millisecond, VirtEnd: 20 * time.Millisecond,
+		Kinds: []KindCost{
+			{Kind: "pkt-deliver", Count: 44, Ns: 640_000},
+		},
+	})
+	tl.Add(1, Span{
+		Name: "window", Start: 5310 * time.Microsecond, Dur: 4400 * time.Microsecond,
+		VirtStart: 10 * time.Millisecond, VirtEnd: 20 * time.Millisecond,
+	})
+	tl.Add(2, Span{
+		Name: "barrier", Start: 9900 * time.Microsecond, Dur: 60 * time.Microsecond,
+		VirtStart: 20 * time.Millisecond, VirtEnd: 20 * time.Millisecond, Count: 1,
+	})
+	checkGolden(t, tl, "timeline_sharded.json")
+}

@@ -1,0 +1,156 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/probe"
+	"repro/internal/scenario"
+)
+
+// runReport builds and runs the named canned scenario with profiling armed and
+// returns the sim and its finished result.
+func runReport(t *testing.T, name string, shards int) (*scenario.Sim, *scenario.Result) {
+	t.Helper()
+	spec, err := scenario.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Duration = 2 * time.Second
+	spec.Shards = shards
+	spec.SnapshotEvery = 500 * time.Millisecond
+	spec.Probes = []probe.Spec{
+		{Target: "link[0].queue_depth"},
+		{Target: "link[0].delivered_bytes"},
+	}
+	sim, err := scenario.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.EnableProfiling()
+	if err := sim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunToEnd()
+	return sim, sim.Finish()
+}
+
+// The report is a pure function of the simulation outcome: two identical runs
+// must render byte-identical JSON and markdown once the wall-clock Perf
+// section is stripped — and Perf itself must be present on a profiled run.
+func TestReportDeterministicBytes(t *testing.T) {
+	var docs [2][]byte
+	var mds [2][]byte
+	for i := range docs {
+		sim, res := runReport(t, "grid", 0)
+		r := Build(sim, res)
+		if r.Perf == nil || r.Perf.Events == 0 {
+			t.Fatal("profiled run produced a report without cost attribution")
+		}
+		var j, m bytes.Buffer
+		if err := r.StripPerf().WriteJSON(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.StripPerf().WriteMarkdown(&m); err != nil {
+			t.Fatal(err)
+		}
+		docs[i] = j.Bytes()
+		mds[i] = m.Bytes()
+	}
+	if !bytes.Equal(docs[0], docs[1]) {
+		t.Error("two identical runs rendered different JSON reports")
+	}
+	if !bytes.Equal(mds[0], mds[1]) {
+		t.Error("two identical runs rendered different markdown reports")
+	}
+}
+
+// Serial and sharded executions of the same spec must agree on every
+// deterministic section of the report — the run-report extension of the
+// byte-identity guarantee, with profiling and reports armed on both sides.
+func TestReportSerialVsShardedIdentical(t *testing.T) {
+	serialSim, serialRes := runReport(t, "grid", 0)
+	shardSim, shardRes := runReport(t, "grid", 4)
+	if !shardSim.Sharded() {
+		t.Fatal("4-shard grid build fell back to serial")
+	}
+
+	render := func(sim *scenario.Sim, res *scenario.Result) string {
+		r := Build(sim, res)
+		if r.Perf == nil {
+			t.Fatal("report missing Perf on a profiled run")
+		}
+		r = r.StripPerf()
+		// The shard plan legitimately differs between the two executions;
+		// blank it so only simulation-derived content is compared.
+		r.Spec.ShardsRequested = 0
+		r.Spec.ShardCount = 0
+		r.Spec.Lookahead = 0
+		var b bytes.Buffer
+		if err := r.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if s, k := render(serialSim, serialRes), render(shardSim, shardRes); s != k {
+		t.Errorf("serial and sharded run reports differ:\nserial: %s\nsharded: %s", s, k)
+	}
+}
+
+// The markdown rendering must carry every section and the clean verdict for a
+// healthy run, with the snapshots the checker examined counted.
+func TestReportMarkdownSections(t *testing.T) {
+	sim, res := runReport(t, "grid", 0)
+	r := Build(sim, res)
+	if !r.Faults.Clean {
+		t.Fatalf("grid run not clean: %+v", r.Faults.Violations)
+	}
+	if r.Faults.SnapshotsChecked == 0 {
+		t.Error("SnapshotEvery was set but no snapshots were checked")
+	}
+	if len(r.Probes) != 2 {
+		t.Fatalf("got %d probe summaries, want 2", len(r.Probes))
+	}
+	var b bytes.Buffer
+	if err := r.WriteMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	md := b.String()
+	for _, want := range []string{
+		"# Run report: grid",
+		"## Spec",
+		"## Counters",
+		"## Faults verdict",
+		"**clean**",
+		"## Cost attribution",
+		"## Probe series",
+		"link[0].queue_depth",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown report missing %q", want)
+		}
+	}
+}
+
+// A violating result must flip the verdict and surface the violation in both
+// renderings — the non-clean exit path cmsim -report keys off.
+func TestReportViolationVerdict(t *testing.T) {
+	sim, res := runReport(t, "grid", 0)
+	res.Hosts[0].NoRouteDrops = -1 // corrupt a counter: non-negativity must trip
+	r := Build(sim, res)
+	if r.Faults.Clean {
+		t.Fatal("corrupted result still reported clean")
+	}
+	if len(r.Faults.Violations) == 0 {
+		t.Fatal("non-clean verdict carries no violations")
+	}
+	var b bytes.Buffer
+	if err := r.WriteMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "VIOLATIONS") {
+		t.Error("markdown rendering of a violating run does not flag VIOLATIONS")
+	}
+}

@@ -398,7 +398,7 @@ func (a *Agent) Start() error {
 	// Seeded phase offset: agents refresh at the same period but different
 	// phases, so the fleet's refresh traffic is spread out.
 	phase := time.Duration(a.rng.Int63n(int64(a.cfg.RefreshInterval)/4 + 1))
-	a.sched.After(a.cfg.RefreshInterval+phase, a.refreshTick)
+	a.sched.AfterKind(a.cfg.RefreshInterval+phase, simtime.KindRouteUpdate, a.refreshTick)
 	return nil
 }
 
@@ -547,7 +547,7 @@ func (a *Agent) armHold(dest string, e *ribEntry, now time.Duration) {
 		return
 	}
 	e.holdArmed = true
-	a.sched.After(e.holdUntil-now, func() { a.holdExpired(dest) })
+	a.sched.AfterKind(e.holdUntil-now, simtime.KindRouteUpdate, func() { a.holdExpired(dest) })
 }
 
 // holdExpired re-evaluates a destination whose holddown window closed, so
@@ -587,7 +587,7 @@ func (a *Agent) scheduleFlush() {
 	if span := a.cfg.TriggerDelayMax - a.cfg.TriggerDelayMin; span > 0 {
 		d += time.Duration(a.rng.Int63n(int64(span) + 1))
 	}
-	a.sched.After(d, a.flush)
+	a.sched.AfterKind(d, simtime.KindRouteUpdate, a.flush)
 }
 
 // flush sends the pending triggered update: changed destinations to every
@@ -654,7 +654,7 @@ func (a *Agent) refreshTick() {
 			a.sendTo(j, full)
 		}
 	}
-	a.sched.After(a.cfg.RefreshInterval, a.refreshTick)
+	a.sched.AfterKind(a.cfg.RefreshInterval, simtime.KindRouteUpdate, a.refreshTick)
 }
 
 func allUnheard(adv []int32) bool {
@@ -723,7 +723,7 @@ func (a *Agent) sendTo(j int, dests []string) bool {
 		}
 	}
 	if delay > 0 {
-		a.sched.After(delay, send)
+		a.sched.AfterKind(delay, simtime.KindRouteUpdate, send)
 	} else {
 		send()
 	}

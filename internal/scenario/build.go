@@ -59,6 +59,9 @@ type Sim struct {
 	recorders map[string]*probe.Recorder
 	snaps     []Snapshot
 	execTL    *probe.Timeline
+	// profiled records that EnableProfiling armed the per-event-kind
+	// profiler(s); Finish then attaches the Result.Perf block.
+	profiled bool
 
 	// obsTimes/obsFns are the barrier observation schedule (see observers.go):
 	// instants where RunToEnd pauses the whole simulation — between all events

@@ -89,11 +89,11 @@ func (s *Sim) installProbes() error {
 			now := sp.sched.Now()
 			sp.series.Add(now, sp.sample())
 			if next := now + sp.every; next <= sp.until {
-				sp.sched.AtArg(next, sp.fire, nil)
+				sp.sched.AtArgKind(next, simtime.KindProbeSample, sp.fire, nil)
 			}
 		}
 		if sp.every <= sp.until {
-			sp.sched.AtArg(sp.every, sp.fire, nil)
+			sp.sched.AtArgKind(sp.every, simtime.KindProbeSample, sp.fire, nil)
 		}
 		s.samplers = append(s.samplers, sp)
 	}
@@ -324,11 +324,11 @@ func (s *Sim) installSnapshots() {
 		now := s.sched.Now()
 		s.takeSnapshot(now)
 		if next := now + every; next <= s.Spec.Duration {
-			s.sched.AtArg(next, fire, nil)
+			s.sched.AtArgKind(next, simtime.KindProbeSample, fire, nil)
 		}
 	}
 	if every <= s.Spec.Duration {
-		s.sched.AtArg(every, fire, nil)
+		s.sched.AtArgKind(every, simtime.KindProbeSample, fire, nil)
 	}
 }
 
@@ -463,11 +463,19 @@ func (s *Sim) RunToEnd() {
 	if s.execTL != nil {
 		t0 := s.execTL.Since()
 		v0 := s.sched.Now()
+		var prev simtime.ProfileSnapshot
+		if p := s.sched.Profiling(); p != nil {
+			prev = p.Snapshot()
+		}
 		run()
-		s.execTL.Add(0, probe.Span{
+		span := probe.Span{
 			Name: "run", Start: t0, Dur: s.execTL.Since() - t0,
 			VirtStart: v0, VirtEnd: s.Spec.Duration,
-		})
+		}
+		if p := s.sched.Profiling(); p != nil {
+			span.Kinds = kindCosts(p.Snapshot().Delta(prev))
+		}
+		s.execTL.Add(0, span)
 		return
 	}
 	run()

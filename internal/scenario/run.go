@@ -12,6 +12,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/node"
 	"repro/internal/probe"
+	"repro/internal/simtime"
 	"repro/internal/tcp"
 )
 
@@ -107,6 +108,10 @@ type Result struct {
 	// run (RouteSync: "protocol"): message statistics, the convergence
 	// verdict and the end-of-run forwarding audit. Nil in oracle mode.
 	Routing *RoutingResult `json:"routing,omitempty"`
+	// Perf is the per-event-kind wall-clock cost attribution, set by Finish
+	// when EnableProfiling was armed. Unlike every other field it describes
+	// the execution, not the simulation: byte-identity comparisons strip it.
+	Perf *Perf `json:"perf,omitempty"`
 }
 
 // flowDriver tracks one declarative flow while the simulation runs.
@@ -172,7 +177,9 @@ func (s *Sim) Start() error {
 // advanced; Finish reports whatever has happened up to the current virtual
 // time.
 func (s *Sim) Finish() *Result {
-	return s.collect(s.drivers)
+	res := s.collect(s.drivers)
+	res.Perf = s.perfBlock()
+	return res
 }
 
 // startWorkloads instantiates every declarative flow: a listener on the To
@@ -263,7 +270,7 @@ func (s *Sim) startWorkloads() ([]*flowDriver, error) {
 			if flowStart > 0 {
 				// The dial happens mid-run; a failure is recorded on the
 				// flow's result instead of aborting the whole scenario.
-				fromClock.At(flowStart, func() { _ = dial() })
+				fromClock.AtKind(flowStart, simtime.KindWorkloadApp, func() { _ = dial() })
 			} else if err := dial(); err != nil {
 				return nil, fmt.Errorf("scenario %q: workload %d flow %d: %w", s.Spec.Name, wi, fi, err)
 			}
@@ -334,7 +341,7 @@ func (s *Sim) startUDPFlow(w *Workload, d *flowDriver, port int) error {
 		srv.Start()
 	}
 	if w.Start > 0 {
-		fromClock.At(w.Start, start)
+		fromClock.AtKind(w.Start, simtime.KindWorkloadApp, start)
 	} else {
 		start()
 	}

@@ -46,6 +46,7 @@ type shardMsg struct {
 	arrive   time.Duration // destination-side delivery time
 	sent     time.Duration // sender-side serialisation-complete time (stamp)
 	key      uint32        // link-direction sort key (Link.SortKey)
+	sub      uint32        // link-local delivery sequence (sub-sequence tie-break)
 }
 
 // handoff is the SPSC queue for one (source shard, destination shard) pair.
@@ -74,6 +75,12 @@ type shardState struct {
 	// its own worker, so no synchronization beyond the window channels.
 	tl   *probe.Timeline
 	lane int
+	// prof, when armed (EnableProfiling), is this shard's per-event-kind
+	// profiler; lastProf is the snapshot at the previous window boundary, so
+	// each window span carries the per-kind cost delta of exactly that
+	// window. Written only by this shard's worker during windows.
+	prof     *simtime.Profile
+	lastProf simtime.ProfileSnapshot
 }
 
 func (ss *shardState) loop() {
@@ -89,10 +96,16 @@ func (ss *shardState) loop() {
 			ss.sched.RunUntilBefore(req.until)
 		}
 		if ss.tl != nil {
-			ss.tl.Add(ss.lane, probe.Span{
+			span := probe.Span{
 				Name: "window", Start: t0, Dur: ss.tl.Since() - t0,
 				VirtStart: v0, VirtEnd: req.until,
-			})
+			}
+			if ss.prof != nil {
+				snap := ss.prof.Snapshot()
+				span.Kinds = kindCosts(snap.Delta(ss.lastProf))
+				ss.lastProf = snap
+			}
+			ss.tl.Add(ss.lane, span)
 		}
 		ss.running.Store(false)
 		ss.done <- struct{}{}
@@ -179,8 +192,8 @@ func (sr *shardRun) ownerCheck(i int) func() bool {
 func (sr *shardRun) connectRemote(l *netsim.Link, src, dst int) {
 	q := sr.queues[src][dst]
 	key := l.SortKey()
-	l.SetRemoteDeliver(func(pkt, dup *netsim.Packet, arrive, sent time.Duration) {
-		q.msgs = append(q.msgs, shardMsg{link: l, pkt: pkt, dup: dup, arrive: arrive, sent: sent, key: key})
+	l.SetRemoteDeliver(func(pkt, dup *netsim.Packet, arrive, sent time.Duration, seq uint32) {
+		q.msgs = append(q.msgs, shardMsg{link: l, pkt: pkt, dup: dup, arrive: arrive, sent: sent, key: key, sub: seq})
 	})
 }
 
@@ -199,8 +212,8 @@ func (sr *shardRun) window(until time.Duration, inclusive bool) {
 
 // drain moves every pending cross-shard delivery into its destination
 // scheduler. Sources are drained in shard order and each queue in FIFO
-// order, which — together with the (time, stamp, key, seq) heap order — pins
-// the injection order deterministically.
+// order, which — together with the (time, stamp, key, sub, seq) heap order —
+// pins the injection order deterministically.
 //
 // Residual tie rule: when an injected delivery ties a competitor on BOTH
 // arrival time and insertion stamp, the link-direction sort key decides
@@ -209,9 +222,10 @@ func (sr *shardRun) window(until time.Duration, inclusive bool) {
 // observing the other's insertion order. (Fat-tree cross-pod streams really
 // produce such ties: flows dialing in lockstep collide at a core at shared
 // nanosecond instants, pinned by routeflap in TestShardedRunsAreByteIdentical.)
-// Only two same-instant deliveries on the *same* link direction still fall
-// through to seq order, and for those the queue's FIFO order is the sender's
-// insertion order, matching serial.
+// Two same-instant deliveries on the *same* link direction order by the
+// link-local delivery sequence (shardMsg.sub, assigned by the sender in
+// serialisation order) — explicit since PR 10, where it used to lean on seq
+// (scheduler insertion order) plus the queue's FIFO discipline.
 func (sr *shardRun) drain() int {
 	n := 0
 	for dst, ds := range sr.states {
@@ -220,7 +234,7 @@ func (sr *shardRun) drain() int {
 			for i := range q.msgs {
 				m := ds.getMsg()
 				*m = q.msgs[i]
-				ds.sched.InjectAt(m.arrive, m.sent, m.key, ds.fire, m)
+				ds.sched.InjectAt(m.arrive, m.sent, m.key, m.sub, simtime.KindPktDeliver, ds.fire, m)
 			}
 			n += len(q.msgs)
 			q.msgs = q.msgs[:0]

@@ -16,8 +16,29 @@ import (
 // same JSON bytes — for K in {2,4,8}, on scenarios covering symmetric
 // dumbbells (same-instant tie-breaks), multi-hop chains, bursty loss with
 // layered UDP workloads, an active dynamics timeline with an outage and live
-// route recomputation, and the 64-node cluster grid.
+// route recomputation, and the 64-node cluster grid. Every run executes with
+// the per-event-kind profiler armed, proving wall-clock attribution never
+// perturbs simulation state; the Perf block (execution telemetry, by design
+// different per run) is asserted populated and then stripped before the
+// comparison.
 func TestShardedRunsAreByteIdentical(t *testing.T) {
+	runProfiled := func(spec Spec) (*Result, error) {
+		sim, err := Build(spec)
+		if err != nil {
+			return nil, err
+		}
+		sim.EnableProfiling()
+		if err := sim.Start(); err != nil {
+			return nil, err
+		}
+		sim.RunToEnd()
+		res := sim.Finish()
+		if res.Perf == nil || res.Perf.Events == 0 || len(res.Perf.Kinds) == 0 {
+			t.Fatalf("%s: profiled run produced no Perf attribution: %+v", spec.Name, res.Perf)
+		}
+		res.Perf = nil
+		return res, nil
+	}
 	// fattree is the residual-tie torture case: its cross-pod streams dial in
 	// nanosecond lockstep and collide at the cores at shared instants, which
 	// only the link-identity sort key (Link.SortKey, see drain()) orders
@@ -74,7 +95,7 @@ func TestShardedRunsAreByteIdentical(t *testing.T) {
 			}
 		}
 		spec.TraceDepth = 256
-		serial, err := Run(spec)
+		serial, err := runProfiled(spec)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -85,7 +106,7 @@ func TestShardedRunsAreByteIdentical(t *testing.T) {
 		for _, k := range []int{2, 4, 8} {
 			sp := spec
 			sp.Shards = k
-			sharded, err := Run(sp)
+			sharded, err := runProfiled(sp)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -21,7 +21,7 @@ func TestInjectAtStampOrdering(t *testing.T) {
 	// Local event scheduled at t=2ms for the same t=10ms: stamp 2ms.
 	s.At(10*time.Millisecond, rec("late-local"))
 	// Injection stamped 1ms: between the two local insertions.
-	s.InjectAt(10*time.Millisecond, time.Millisecond, 0, func(any) { order = append(order, "injected") }, nil)
+	s.InjectAt(10*time.Millisecond, time.Millisecond, 0, 0, KindOther, func(any) { order = append(order, "injected") }, nil)
 	s.Run()
 
 	want := []string{"early-local", "injected", "late-local"}
@@ -43,15 +43,43 @@ func TestKeyedTieOrdering(t *testing.T) {
 
 	at := 10 * time.Millisecond
 	s.RunUntil(2 * time.Millisecond) // all insertions below share stamp 2ms
-	s.AtArgKeyed(at, 30, rec("key30"), nil)
-	s.AtArgKeyed(at, 10, rec("key10"), nil)
+	s.AtArgKeyed(at, 30, 0, KindOther, rec("key30"), nil)
+	s.AtArgKeyed(at, 10, 0, KindOther, rec("key10"), nil)
 	s.AtArg(at, rec("unkeyed"), nil) // key 0: ahead of every keyed event
 	// An injection stamped at the same 2ms instant with a key between the two
 	// local keyed events lands between them.
-	s.InjectAt(at, 2*time.Millisecond, 20, rec("injected20"), nil)
+	s.InjectAt(at, 2*time.Millisecond, 20, 0, KindOther, rec("injected20"), nil)
 	s.Run()
 
 	want := []string{"unkeyed", "key10", "injected20", "key30"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", order, want)
+		}
+	}
+}
+
+// Among events sharing (at, stamp, key), the caller-supplied sub-sequence —
+// the link-local delivery number in netsim — must decide the order, beating
+// scheduler insertion order (seq). Insertions are made in descending sub
+// order so any reliance on seq would reverse the result, and an injection
+// carrying a sub must slot into the same order.
+func TestSubSequenceTieOrdering(t *testing.T) {
+	s := NewScheduler()
+	var order []string
+	rec := func(tag string) func(any) { return func(any) { order = append(order, tag) } }
+
+	at := 10 * time.Millisecond
+	s.RunUntil(2 * time.Millisecond) // all insertions below share stamp 2ms
+	s.AtArgKeyed(at, 7, 3, KindOther, rec("sub3"), nil)
+	s.AtArgKeyed(at, 7, 1, KindOther, rec("sub1"), nil)
+	// Same key, sub between the two local ones, injected from "elsewhere".
+	s.InjectAt(at, 2*time.Millisecond, 7, 2, KindOther, rec("sub2"), nil)
+	// A different (higher) key sorts after regardless of its low sub.
+	s.AtArgKeyed(at, 9, 0, KindOther, rec("key9"), nil)
+	s.Run()
+
+	want := []string{"sub1", "sub2", "sub3", "key9"}
 	for i := range want {
 		if i >= len(order) || order[i] != want[i] {
 			t.Fatalf("execution order %v, want %v", order, want)
@@ -68,7 +96,7 @@ func TestInjectAtPastPanics(t *testing.T) {
 			t.Fatal("InjectAt into the past must panic (conservative sync violation)")
 		}
 	}()
-	s.InjectAt(time.Millisecond, 0, 0, func(any) {}, nil)
+	s.InjectAt(time.Millisecond, 0, 0, 0, KindOther, func(any) {}, nil)
 }
 
 // RunUntilBefore must stop short of events at exactly the horizon, and
@@ -112,11 +140,11 @@ func TestInjectAtZeroAlloc(t *testing.T) {
 	fn := func(any) {}
 	var arg struct{}
 	for i := 0; i < 64; i++ {
-		s.InjectAt(s.Now()+time.Microsecond, s.Now(), 0, fn, &arg)
+		s.InjectAt(s.Now()+time.Microsecond, s.Now(), 0, 0, KindPktDeliver, fn, &arg)
 		s.Step()
 	}
 	allocs := testing.AllocsPerRun(200, func() {
-		s.InjectAt(s.Now()+time.Microsecond, s.Now(), 0, fn, &arg)
+		s.InjectAt(s.Now()+time.Microsecond, s.Now(), 0, 0, KindPktDeliver, fn, &arg)
 		s.Step()
 	})
 	if allocs != 0 {

@@ -9,8 +9,8 @@
 // times or after relative delays and are executed in timestamp order; ties are
 // broken by scheduling order (FIFO), which keeps runs reproducible. Each event
 // additionally records the virtual time it was *inserted* (its stamp) and an
-// optional caller-chosen sort key, and the full heap order is
-// (time, stamp, key, seq). For ordinary scheduling the extra keys are
+// optional caller-chosen sort key and sub-sequence, and the full heap order is
+// (time, stamp, key, sub, seq). For ordinary scheduling the extra keys are
 // redundant — stamps are nondecreasing in seq — but they are what lets a
 // sharded simulation inject events from another scheduler (InjectAt) into
 // exactly the position a single-scheduler run would have given them: the
@@ -57,6 +57,24 @@ type TimerFactory interface {
 	NewTimer(fn func()) Timer
 }
 
+// KindTimerFactory is optionally implemented by timer factories whose timers
+// can be tagged with an event Kind for the profiler (Scheduler implements
+// it). Use the package-level NewKindTimer helper to fall back to plain,
+// untagged timers for factories that do not.
+type KindTimerFactory interface {
+	NewKindTimer(kind Kind, fn func()) Timer
+}
+
+// NewKindTimer creates a timer from tf tagged with kind when tf supports
+// tagging (KindTimerFactory), and an ordinary untagged timer otherwise. The
+// tag only feeds the profiler; timer semantics are identical either way.
+func NewKindTimer(tf TimerFactory, kind Kind, fn func()) Timer {
+	if ktf, ok := tf.(KindTimerFactory); ok {
+		return ktf.NewKindTimer(kind, fn)
+	}
+	return tf.NewTimer(fn)
+}
+
 // Event is a handle to a scheduled callback.
 //
 // Lifetime: a handle is valid from the At/After call until the event fires or
@@ -78,12 +96,23 @@ type Event struct {
 	// stable content — in practice the delivering link's identity) supplies
 	// one that serial and sharded runs agree on.
 	key uint32
+	// sub is a second caller-chosen tie-break after key: a per-key sequence
+	// number breaking ties among same-(at, stamp, key) events. In practice it
+	// is the link-local delivery sequence netsim assigns per link direction,
+	// which makes the serial/sharded agreement on hand-up order explicit
+	// instead of leaning on scheduler insertion order (seq); zero for
+	// ordinary scheduling.
+	sub uint32
 	// index is the heap position while queued, notQueued after firing or
-	// recycling, and canceledIdx once Cancel has run — folding the canceled
-	// flag into the index keeps the Event at 72 bytes even with the sort key
-	// (int32 + uint32 pack where an int index alone used to sit; growing to
-	// 80 measurably slows the tie-heavy churn benchmark).
+	// recycling, and canceledIdx once Cancel has run (folding the canceled
+	// flag into the index saves a separate bool). Adding the sub and kind
+	// fields grew the Event from 72 to 80 bytes — a measurable but small cost
+	// on the tie-heavy churn benchmark, accepted in exchange for the explicit
+	// delivery sequence and per-kind cost attribution.
 	index int32
+	// kind classifies the event for the optional profiler (KindOther when
+	// untagged); it packs into padding next to index.
+	kind  Kind
 	s     *Scheduler
 	fn    func()
 	argFn func(any)
@@ -130,13 +159,17 @@ func (e *Event) fire() {
 // reproduction deterministic.
 type Scheduler struct {
 	now      time.Duration
-	events   []*Event // 4-ary min-heap ordered by (at, seq) / (at, stamp, seq)
+	events   []*Event // 4-ary min-heap ordered by (at, seq) / (at, stamp, key, sub, seq)
 	free     []*Event // recycled events; bounds steady-state allocation at zero
 	seq      uint64
 	executed uint64
 	limit    uint64 // safety valve against runaway simulations; 0 = no limit
+	// prof, when non-nil, receives per-kind wall-clock aggregates for every
+	// fired event (see EnableProfile). Disarmed cost: one nil check in Step.
+	prof *Profile
 	// stamped selects the multi-key comparator that orders same-timestamp
-	// events by insertion stamp, then sort key, before seq. It flips on the
+	// events by insertion stamp, then sort key and sub-sequence, before seq.
+	// It flips on the
 	// first InjectAt or AtArgKeyed and never back: until then stamps are
 	// nondecreasing in seq and every key is zero, so both comparators
 	// produce the same order (which also makes the mid-run flip safe — the
@@ -190,6 +223,9 @@ func eventLessStamped(a, b *Event) bool {
 	}
 	if a.key != b.key {
 		return a.key < b.key
+	}
+	if a.sub != b.sub {
+		return a.sub < b.sub
 	}
 	return a.seq < b.seq
 }
@@ -360,6 +396,8 @@ func (s *Scheduler) newEvent(t time.Duration) *Event {
 	ev.at = t
 	ev.stamp = s.now
 	ev.key = 0
+	ev.sub = 0
+	ev.kind = KindOther
 	ev.seq = s.seq
 	ev.index = notQueued
 	ev.s = s
@@ -425,22 +463,55 @@ func (s *Scheduler) AfterArg(d time.Duration, fn func(any), arg any) *Event {
 	return s.AtArg(s.now+d, fn, arg)
 }
 
-// AtArgKeyed schedules fn(arg) at absolute virtual time t with a sort key:
-// among events sharing both timestamp and insertion stamp, lower keys run
-// first, before any seq (insertion-order) consideration. It exists for events
-// that must order identically in serial and sharded executions — two events
-// inserted at the same instant on different shards have no common insertion
-// order, so a key derived from stable content (the delivering link) supplies
-// the order both runs agree on. netsim keys every packet-delivery hand-up
-// with the link direction's identity; see Link.SortKey.
-func (s *Scheduler) AtArgKeyed(t time.Duration, key uint32, fn func(any), arg any) *Event {
+// AtKind schedules fn at absolute virtual time t, tagged with an event kind
+// for the profiler (see Kind). Ordering is identical to At.
+func (s *Scheduler) AtKind(t time.Duration, kind Kind, fn func()) *Event {
+	ev := s.At(t, fn)
+	ev.kind = kind
+	return ev
+}
+
+// AfterKind schedules fn after delay d, tagged with an event kind.
+func (s *Scheduler) AfterKind(d time.Duration, kind Kind, fn func()) *Event {
+	ev := s.After(d, fn)
+	ev.kind = kind
+	return ev
+}
+
+// AtArgKind schedules fn(arg) at absolute virtual time t, tagged with an
+// event kind.
+func (s *Scheduler) AtArgKind(t time.Duration, kind Kind, fn func(any), arg any) *Event {
+	ev := s.AtArg(t, fn, arg)
+	ev.kind = kind
+	return ev
+}
+
+// AfterArgKind schedules fn(arg) after delay d, tagged with an event kind.
+func (s *Scheduler) AfterArgKind(d time.Duration, kind Kind, fn func(any), arg any) *Event {
+	ev := s.AfterArg(d, fn, arg)
+	ev.kind = kind
+	return ev
+}
+
+// AtArgKeyed schedules fn(arg) at absolute virtual time t with a sort key and
+// sub-sequence: among events sharing both timestamp and insertion stamp,
+// lower keys run first, then lower subs, before any seq (insertion-order)
+// consideration. It exists for events that must order identically in serial
+// and sharded executions — two events inserted at the same instant on
+// different shards have no common insertion order, so a key derived from
+// stable content (the delivering link) supplies the order both runs agree on,
+// and the sub-sequence (the link-local delivery number) orders multiple
+// same-instant hand-ups of the same link direction. netsim keys every
+// packet-delivery hand-up with the link direction's identity and delivery
+// sequence; see Link.SortKey. The event is tagged with kind for the profiler.
+func (s *Scheduler) AtArgKeyed(t time.Duration, key, sub uint32, kind Kind, fn func(any), arg any) *Event {
 	if fn == nil {
 		panic("simtime: AtArgKeyed called with nil function")
 	}
 	if t < s.now {
 		t = s.now
 	}
-	// Keys carry information only under the three-key comparator; switch to
+	// Keys carry information only under the multi-key comparator; switch to
 	// it permanently, exactly as InjectAt does (see Scheduler.stamped — the
 	// flip is safe because every already-queued event has key zero and local
 	// stamps are nondecreasing in seq, so the heap is valid under both
@@ -448,22 +519,25 @@ func (s *Scheduler) AtArgKeyed(t time.Duration, key uint32, fn func(any), arg an
 	s.stamped = true
 	ev := s.newEvent(t)
 	ev.key = key
+	ev.sub = sub
+	ev.kind = kind
 	ev.argFn = fn
 	ev.arg = arg
 	s.heapPush(ev)
 	return ev
 }
 
-// AfterArgKeyed schedules fn(arg) after delay d with a sort key (AtArgKeyed).
-func (s *Scheduler) AfterArgKeyed(d time.Duration, key uint32, fn func(any), arg any) *Event {
+// AfterArgKeyed schedules fn(arg) after delay d with a sort key and
+// sub-sequence (AtArgKeyed).
+func (s *Scheduler) AfterArgKeyed(d time.Duration, key, sub uint32, kind Kind, fn func(any), arg any) *Event {
 	if d < 0 {
 		d = 0
 	}
-	return s.AtArgKeyed(s.now+d, key, fn, arg)
+	return s.AtArgKeyed(s.now+d, key, sub, kind, fn, arg)
 }
 
 // InjectAt schedules fn(arg) at absolute time t with an explicit insertion
-// stamp and sort key. It is the cross-scheduler handoff used by sharded
+// stamp, sort key and sub-sequence. It is the cross-scheduler handoff used by sharded
 // execution: the sending shard computed the event (a packet delivery) at
 // virtual time stamp, and the receiving shard schedules it during a
 // synchronization barrier. The stamp slots the event among same-timestamp
@@ -474,13 +548,16 @@ func (s *Scheduler) AfterArgKeyed(d time.Duration, key uint32, fn func(any), arg
 // (AtArgKeyed): a serial run orders such double-ties by key too, so both
 // executions agree without either observing the other's insertion order.
 // (Unkeyed local events at the double-tie instant sort by key zero, i.e.
-// before any keyed injection, in both runs alike.)
+// before any keyed injection, in both runs alike.) The sub-sequence orders
+// multiple same-instant deliveries carrying the same key — the sender
+// assigns it from the link direction's own delivery counter, so serial and
+// sharded runs read off the same value.
 //
 // Injecting into the past (t < Now) panics: it means the conservative
 // synchronization invariant (arrival >= sender clock + lookahead >= receiver
 // clock) was violated, and executing the event would silently diverge from
 // the serial run instead.
-func (s *Scheduler) InjectAt(t, stamp time.Duration, key uint32, fn func(any), arg any) *Event {
+func (s *Scheduler) InjectAt(t, stamp time.Duration, key, sub uint32, kind Kind, fn func(any), arg any) *Event {
 	if fn == nil {
 		panic("simtime: InjectAt called with nil function")
 	}
@@ -496,6 +573,8 @@ func (s *Scheduler) InjectAt(t, stamp time.Duration, key uint32, fn func(any), a
 	ev := s.newEvent(t)
 	ev.stamp = stamp
 	ev.key = key
+	ev.sub = sub
+	ev.kind = kind
 	ev.argFn = fn
 	ev.arg = arg
 	s.heapPush(ev)
@@ -516,7 +595,11 @@ func (s *Scheduler) Step() bool {
 	if s.limit != 0 && s.executed > s.limit {
 		panic(fmt.Sprintf("simtime: event limit %d exceeded at t=%v", s.limit, s.now))
 	}
-	ev.fire()
+	if s.prof == nil {
+		ev.fire()
+	} else {
+		s.fireProfiled(ev)
+	}
 	// Recycle only after the callback: an executing event is never in the
 	// freelist, so a callback that schedules new work cannot be handed its
 	// own still-running event.
@@ -574,12 +657,19 @@ func (s *Scheduler) AdvanceTo(t time.Duration) {
 }
 
 // NewTimer implements TimerFactory: the returned timer schedules fn on the
-// scheduler when it fires.
+// scheduler when it fires. Timer events are untagged (KindOther); use
+// NewKindTimer to classify them for the profiler.
 func (s *Scheduler) NewTimer(fn func()) Timer {
+	return s.NewKindTimer(KindOther, fn)
+}
+
+// NewKindTimer implements KindTimerFactory: like NewTimer, but every firing
+// of the returned timer is tagged with kind for the profiler.
+func (s *Scheduler) NewKindTimer(kind Kind, fn func()) Timer {
 	if fn == nil {
 		panic("simtime: NewTimer called with nil function")
 	}
-	t := &simTimer{s: s, fn: fn}
+	t := &simTimer{s: s, kind: kind, fn: fn}
 	// One wrapper closure per timer, built up front so Reset never allocates.
 	t.fire = func() {
 		t.ev = nil
@@ -590,6 +680,7 @@ func (s *Scheduler) NewTimer(fn func()) Timer {
 
 type simTimer struct {
 	s    *Scheduler
+	kind Kind
 	fn   func()
 	fire func()
 	ev   *Event
@@ -597,7 +688,7 @@ type simTimer struct {
 
 func (t *simTimer) Reset(d time.Duration) {
 	t.Stop()
-	t.ev = t.s.After(d, t.fire)
+	t.ev = t.s.AfterKind(d, t.kind, t.fire)
 }
 
 func (t *simTimer) Stop() {
@@ -673,8 +764,9 @@ func (t *wallTimer) Pending() bool {
 }
 
 var (
-	_ Clock        = (*Scheduler)(nil)
-	_ TimerFactory = (*Scheduler)(nil)
-	_ Clock        = (*WallClock)(nil)
-	_ TimerFactory = (*WallClock)(nil)
+	_ Clock            = (*Scheduler)(nil)
+	_ TimerFactory     = (*Scheduler)(nil)
+	_ KindTimerFactory = (*Scheduler)(nil)
+	_ Clock            = (*WallClock)(nil)
+	_ TimerFactory     = (*WallClock)(nil)
 )

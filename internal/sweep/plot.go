@@ -1,0 +1,367 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Plot declares one figure rendered from an executed campaign: a metric on Y
+// against one numeric sweep axis on X, one line per value of an optional
+// string (variant) axis, with mean ± stddev error bars across replicates.
+//
+// Rendering is a pure function of the CampaignResult — fixed canvas, fixed
+// palette, shortest-round-trip float formatting — so the emitted SVG bytes
+// are deterministic and diffable, the same property the CSV/JSON emitters
+// guarantee.
+type Plot struct {
+	// Metric is the flattened metric key to plot (e.g.
+	// "total.throughput_kbps" or "probe.link[0].queue_depth.mean").
+	Metric string `json:"metric"`
+	// X names the numeric axis providing the X coordinate. Default: the
+	// campaign's first numeric axis.
+	X string `json:"x,omitempty"`
+	// Series names the string axis that splits points into one line each
+	// (the paired-variant axis, e.g. workload[0].cc). Default: the
+	// campaign's first string axis, if any; otherwise a single series.
+	Series string `json:"series,omitempty"`
+	// File is the output filename (default: the metric, sanitised, + ".svg").
+	File string `json:"file,omitempty"`
+	// Title overrides the default "<metric> vs <x>" title.
+	Title string `json:"title,omitempty"`
+}
+
+// plotPalette is the fixed series colour cycle.
+var plotPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+}
+
+// Canvas geometry (pixels). Fixed so the output is reproducible.
+const (
+	plotW       = 640
+	plotH       = 400
+	plotLeft    = 70
+	plotRight   = 620
+	plotTop     = 40
+	plotBottom  = 350
+	plotLegendX = 480
+)
+
+// defaultPlots derives the campaign's figures when none are declared: one
+// plot per explicitly named (non-wildcard) metric, or failing that one per
+// campaign probe's mean, or failing that the canonical whole-run pair
+// (goodput and retransmissions) — so an ad-hoc CLI sweep always renders
+// something useful.
+func (c Campaign) defaultPlots() []Plot {
+	var out []Plot
+	metrics := c.Metrics
+	if len(metrics) == 0 {
+		metrics = DefaultMetrics
+	}
+	for _, m := range metrics {
+		if !strings.Contains(m, "*") {
+			out = append(out, Plot{Metric: m})
+		}
+	}
+	if len(out) == 0 {
+		for _, p := range c.Probes {
+			out = append(out, Plot{Metric: "probe." + p.Target + ".mean"})
+		}
+	}
+	if len(out) == 0 {
+		out = []Plot{{Metric: "total.goodput_kbps"}, {Metric: "total.retransmissions"}}
+	}
+	return out
+}
+
+// resolve fills a plot's defaults against the campaign's axes and validates
+// the axis references.
+func (c Campaign) resolvePlot(p Plot) (Plot, error) {
+	if p.Metric == "" {
+		return p, fmt.Errorf("sweep: plot without a metric")
+	}
+	if p.X == "" {
+		for _, a := range c.Axes {
+			if a.numeric() {
+				p.X = a.Param
+				break
+			}
+		}
+		if p.X == "" {
+			return p, fmt.Errorf("sweep: plot %q: campaign has no numeric axis for X", p.Metric)
+		}
+	}
+	if p.Series == "" {
+		for _, a := range c.Axes {
+			if !a.numeric() {
+				p.Series = a.Param
+				break
+			}
+		}
+	}
+	found := false
+	for _, a := range c.Axes {
+		if a.Param == p.X {
+			if !a.numeric() {
+				return p, fmt.Errorf("sweep: plot %q: X axis %q is a string axis", p.Metric, p.X)
+			}
+			found = true
+		}
+	}
+	if !found {
+		return p, fmt.Errorf("sweep: plot %q: no axis %q", p.Metric, p.X)
+	}
+	if p.File == "" {
+		p.File = sanitizeFile(p.Metric) + ".svg"
+	}
+	if p.Title == "" {
+		p.Title = p.Metric + " vs " + p.X
+	}
+	return p, nil
+}
+
+// sanitizeFile maps a metric key to a safe filename stem.
+func sanitizeFile(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// WritePlots renders the campaign's declared plots (or the derived defaults)
+// from an executed result into dir, one SVG per plot, and returns the written
+// filenames in plot order.
+func (c Campaign) WritePlots(res *CampaignResult, dir string) ([]string, error) {
+	plots := c.Plots
+	if len(plots) == 0 {
+		plots = c.defaultPlots()
+	}
+	var files []string
+	for _, p := range plots {
+		rp, err := c.resolvePlot(p)
+		if err != nil {
+			return files, err
+		}
+		svg, err := c.RenderSVG(res, rp)
+		if err != nil {
+			return files, err
+		}
+		path := filepath.Join(dir, rp.File)
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			return files, err
+		}
+		files = append(files, rp.File)
+	}
+	return files, nil
+}
+
+// plotSeries is one rendered line: label plus (x, mean, stddev) samples in
+// sweep order.
+type plotSeries struct {
+	label string
+	xs    []float64
+	means []float64
+	devs  []float64
+}
+
+// RenderSVG renders one resolved plot from an executed campaign as an SVG
+// document. Points whose replicates all failed, or that lack the metric, are
+// skipped (a campaign-level cap or failure thus shows as a gap, not an
+// error).
+func (c Campaign) RenderSVG(res *CampaignResult, p Plot) (string, error) {
+	p, err := c.resolvePlot(p)
+	if err != nil {
+		return "", err
+	}
+	xIdx, seriesIdx := -1, -1
+	for i, param := range res.Params {
+		if param == p.X {
+			xIdx = i
+		}
+		if p.Series != "" && param == p.Series {
+			seriesIdx = i
+		}
+	}
+	if xIdx < 0 {
+		return "", fmt.Errorf("sweep: plot %q: result has no param %q", p.Metric, p.X)
+	}
+	logX := false
+	for _, a := range c.Axes {
+		if a.Param == p.X && a.Scale == ScaleLog {
+			logX = true
+		}
+	}
+
+	// Group points into series, preserving expansion order within each.
+	var order []string
+	byLabel := map[string]*plotSeries{}
+	for i := range res.Points {
+		pt := &res.Points[i]
+		s, ok := pt.Metrics[p.Metric]
+		if !ok || s.N == 0 {
+			continue
+		}
+		label := ""
+		if seriesIdx >= 0 {
+			label = pt.Values[seriesIdx].String()
+		}
+		ps := byLabel[label]
+		if ps == nil {
+			ps = &plotSeries{label: label}
+			byLabel[label] = ps
+			order = append(order, label)
+		}
+		ps.xs = append(ps.xs, pt.Values[xIdx].Num)
+		ps.means = append(ps.means, s.Mean)
+		ps.devs = append(ps.devs, s.Stddev)
+	}
+	if len(order) == 0 {
+		return "", fmt.Errorf("sweep: plot %q: no point carries the metric", p.Metric)
+	}
+
+	// Data ranges. X comes from the swept values; Y spans mean ± stddev and
+	// is extended to zero when everything is non-negative, so magnitudes
+	// read honestly.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, label := range order {
+		ps := byLabel[label]
+		for i := range ps.xs {
+			xmin = math.Min(xmin, ps.xs[i])
+			xmax = math.Max(xmax, ps.xs[i])
+			ymin = math.Min(ymin, ps.means[i]-ps.devs[i])
+			ymax = math.Max(ymax, ps.means[i]+ps.devs[i])
+		}
+	}
+	if ymin > 0 {
+		ymin = 0
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	ymax += (ymax - ymin) * 0.05
+	tx := func(x float64) float64 {
+		lo, hi, v := xmin, xmax, x
+		if logX {
+			lo, hi, v = math.Log10(xmin), math.Log10(xmax), math.Log10(x)
+		}
+		if hi == lo {
+			return (plotLeft + plotRight) / 2
+		}
+		return plotLeft + (v-lo)/(hi-lo)*(plotRight-plotLeft)
+	}
+	ty := func(y float64) float64 {
+		return plotBottom - (y-ymin)/(ymax-ymin)*(plotBottom-plotTop)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="12">`+"\n",
+		plotW, plotH, plotW, plotH)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-size="14" text-anchor="middle">%s</text>`+"\n",
+		(plotLeft+plotRight)/2, xmlEscape(p.Title))
+
+	// X ticks at the swept values themselves (sweep axes have few steps, and
+	// the actual coordinates matter more than round numbers).
+	seenX := map[float64]bool{}
+	var xticks []float64
+	for _, label := range order {
+		for _, x := range byLabel[label].xs {
+			if !seenX[x] {
+				seenX[x] = true
+				xticks = append(xticks, x)
+			}
+		}
+	}
+	sort.Float64s(xticks)
+	for _, x := range xticks {
+		px := tx(x)
+		fmt.Fprintf(&b, `<line x1="%s" y1="%d" x2="%s" y2="%d" stroke="#ddd"/>`+"\n",
+			coord(px), plotTop, coord(px), plotBottom)
+		fmt.Fprintf(&b, `<text x="%s" y="%d" text-anchor="middle">%s</text>`+"\n",
+			coord(px), plotBottom+18, tickLabel(x))
+	}
+	// Five evenly spaced Y ticks.
+	for i := 0; i <= 4; i++ {
+		y := ymin + (ymax-ymin)*float64(i)/4
+		py := ty(y)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%s" x2="%d" y2="%s" stroke="#ddd"/>`+"\n",
+			plotLeft, coord(py), plotRight, coord(py))
+		fmt.Fprintf(&b, `<text x="%d" y="%s" text-anchor="end">%s</text>`+"\n",
+			plotLeft-6, coord(py+4), tickLabel(y))
+	}
+	// Axis frame and labels.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		plotLeft, plotBottom, plotRight, plotBottom)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		plotLeft, plotTop, plotLeft, plotBottom)
+	xlabel := p.X
+	if logX {
+		xlabel += " (log)"
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+		(plotLeft+plotRight)/2, plotBottom+38, xmlEscape(xlabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		(plotTop+plotBottom)/2, (plotTop+plotBottom)/2, xmlEscape(p.Metric))
+
+	for si, label := range order {
+		ps := byLabel[label]
+		color := plotPalette[si%len(plotPalette)]
+		// Error bars first so the line draws over them.
+		for i := range ps.xs {
+			if ps.devs[i] <= 0 {
+				continue
+			}
+			px := tx(ps.xs[i])
+			y1, y2 := ty(ps.means[i]-ps.devs[i]), ty(ps.means[i]+ps.devs[i])
+			fmt.Fprintf(&b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="%s" stroke-width="1"/>`+"\n",
+				coord(px), coord(y1), coord(px), coord(y2), color)
+			for _, y := range []float64{y1, y2} {
+				fmt.Fprintf(&b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="%s" stroke-width="1"/>`+"\n",
+					coord(px-3), coord(y), coord(px+3), coord(y), color)
+			}
+		}
+		var pts []string
+		for i := range ps.xs {
+			pts = append(pts, coord(tx(ps.xs[i]))+","+coord(ty(ps.means[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for i := range ps.xs {
+			fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="2.5" fill="%s"/>`+"\n",
+				coord(tx(ps.xs[i])), coord(ty(ps.means[i])), color)
+		}
+		if ps.label != "" {
+			ly := plotTop + 8 + si*16
+			fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="1.5"/>`+"\n",
+				plotLegendX, ly, plotLegendX+18, ly, color)
+			fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n",
+				plotLegendX+24, ly+4, xmlEscape(ps.label))
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// coord formats a pixel coordinate with two decimals — fixed-width enough to
+// be stable, short enough to keep files small.
+func coord(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+
+// tickLabel formats a tick value compactly (4 significant digits).
+func tickLabel(v float64) string { return strconv.FormatFloat(v, 'g', 4, 64) }
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

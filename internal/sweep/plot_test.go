@@ -1,0 +1,163 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// plotCampaign is a small paired-variant sweep: loss on X, cc as the series
+// axis, two replicates for non-degenerate error bars.
+func plotCampaign() Campaign {
+	base := scenario.PointToPoint(scenario.PointToPointParams{
+		Workloads: []scenario.Workload{{Kind: scenario.KindBulk, From: "sender", To: "receiver", Bytes: 200_000}},
+	})
+	base.Duration = 2 * time.Second
+	return Campaign{
+		Name: "plot",
+		Base: &base,
+		Axes: []Axis{
+			{Param: "workload[0].cc", Strings: []string{"cm", "native"}},
+			{Param: "link[0].loss", Values: []float64{0, 0.02, 0.05}},
+		},
+		Replicates: 2,
+		Metrics:    []string{"total.delivered_bytes", "total.retransmissions"},
+	}
+}
+
+// The SVG emission must be deterministic (same campaign, same bytes), carry
+// one polyline per series-axis variant, and the swept X values as ticks.
+func TestRenderSVGDeterministic(t *testing.T) {
+	camp := plotCampaign()
+	res, err := camp.Run(scenario.Runner{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plot := Plot{Metric: "total.delivered_bytes"}
+	svg1, err := camp.RenderSVG(res, plot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg2, err := camp.RenderSVG(res, plot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svg1 != svg2 {
+		t.Fatal("two renderings of the same result differ")
+	}
+	if n := strings.Count(svg1, "<polyline"); n != 2 {
+		t.Errorf("got %d polylines, want one per cc variant (2)", n)
+	}
+	for _, want := range []string{"total.delivered_bytes vs link[0].loss", ">cm<", ">native<", ">0.02<", ">0.05<"} {
+		if !strings.Contains(svg1, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Error bars: delivered_bytes is replicate-invariant (the bulk flow
+	// always completes, so stddev is zero and no bars draw), but the
+	// retransmission count varies with the replicate seed under loss.
+	rexmit, err := camp.RenderSVG(res, Plot{Metric: "total.retransmissions"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rexmit, `stroke-width="1"`) {
+		t.Error("retransmission SVG carries no error-bar strokes")
+	}
+}
+
+// WritePlots writes one SVG per declared plot (deriving filenames from the
+// metric) and per derived default when none are declared.
+func TestWritePlots(t *testing.T) {
+	camp := plotCampaign()
+	res, err := camp.Run(scenario.Runner{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	camp.Plots = []Plot{
+		{Metric: "total.delivered_bytes", Title: "goodput under loss"},
+		{Metric: "total.retransmissions", File: "rexmit.svg"},
+	}
+	files, err := camp.WritePlots(res, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"total.delivered_bytes.svg", "rexmit.svg"}
+	if len(files) != len(want) || files[0] != want[0] || files[1] != want[1] {
+		t.Fatalf("files = %v, want %v", files, want)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "total.delivered_bytes.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "goodput under loss") {
+		t.Error("declared title missing from written SVG")
+	}
+
+	// Default derivation: the campaign's explicit metrics become the plots.
+	camp.Plots = nil
+	defDir := t.TempDir()
+	defFiles, err := camp.WritePlots(res, defDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defFiles) != 2 {
+		t.Fatalf("derived %d default plots, want 2 (one per explicit metric): %v", len(defFiles), defFiles)
+	}
+}
+
+// A log-scaled X axis must be honoured (and labelled) in the rendering.
+func TestRenderSVGLogX(t *testing.T) {
+	base := scenario.PointToPoint(scenario.PointToPointParams{
+		Workloads: []scenario.Workload{{Kind: scenario.KindBulk, From: "sender", To: "receiver", Bytes: 100_000}},
+	})
+	base.Duration = time.Second
+	camp := Campaign{
+		Base: &base,
+		Axes: []Axis{
+			{Param: "link[0].bandwidth", Scale: ScaleLog, Min: 1e6, Max: 1e8, Steps: 3},
+		},
+		Metrics: []string{"total.delivered_bytes"},
+	}
+	res, err := camp.Run(scenario.Runner{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg, err := camp.RenderSVG(res, Plot{Metric: "total.delivered_bytes"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "(log)") {
+		t.Error("log-scaled X axis not labelled")
+	}
+	// Geometric spacing: the middle value (1e7) must sit midway between the
+	// endpoints on a log axis — i.e. its tick x-coordinate equals the mean
+	// of the endpoint coordinates, which linear scaling would put at ~345.
+	mid := (float64(plotLeft) + float64(plotRight)) / 2
+	if !strings.Contains(svg, `<circle cx="`+coord(mid)) {
+		t.Errorf("1e7 sample not at the log-scale midpoint %s", coord(mid))
+	}
+}
+
+// Plot validation: a string X axis and an unknown metric must fail loudly.
+func TestPlotValidation(t *testing.T) {
+	camp := plotCampaign()
+	res, err := camp.Run(scenario.Runner{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := camp.RenderSVG(res, Plot{Metric: "total.delivered_bytes", X: "workload[0].cc"}); err == nil {
+		t.Error("string X axis accepted")
+	}
+	if _, err := camp.RenderSVG(res, Plot{Metric: "no.such.metric"}); err == nil {
+		t.Error("unknown metric accepted")
+	}
+	if _, err := camp.RenderSVG(res, Plot{Metric: "total.delivered_bytes", X: "nope"}); err == nil {
+		t.Error("unknown X axis accepted")
+	}
+}

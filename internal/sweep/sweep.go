@@ -177,6 +177,9 @@ type Campaign struct {
 	// max,last,samples} metrics — covered by DefaultMetrics, so adding a
 	// campaign probe immediately adds columns to the CSV.
 	Probes []probe.Spec `json:"probes,omitempty"`
+	// Plots declares the figures to render from the executed campaign (see
+	// plot.go); WritePlots derives defaults from Metrics/Probes when empty.
+	Plots []Plot `json:"plots,omitempty"`
 }
 
 // DefaultMetrics aggregates the derived whole-run totals plus the summaries

@@ -166,8 +166,8 @@ func newEndpoint(h *node.Host, local, remote netsim.Addr, cfg Config) *Endpoint 
 		state:   StateClosed,
 		peerWnd: cfg.RecvWindow,
 	}
-	e.rtoTimer = e.sched.NewTimer(e.onRTO)
-	e.ackTimer = e.sched.NewTimer(e.onDelayedAckTimer)
+	e.rtoTimer = e.sched.NewKindTimer(simtime.KindWorkloadApp, e.onRTO)
+	e.ackTimer = e.sched.NewKindTimer(simtime.KindWorkloadApp, e.onDelayedAckTimer)
 	switch cfg.CongestionControl {
 	case CCCM:
 		e.cc = newCMCC(e, cfg.CM)
